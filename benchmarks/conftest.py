@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper (via the
+``repro.experiments`` modules) exactly once per session — the experiments
+are deterministic, so repeated rounds would only repeat identical work —
+and asserts the paper's qualitative shape on the result.
+
+Set ``REPRO_PROFILE=paper`` for full-resolution inputs (slower);
+the default ``eval`` profile halves CNN resolution (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+PROFILE = os.environ.get("REPRO_PROFILE", "eval")
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return PROFILE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,223 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one mechanism parameter and asserts the direction
+and rough magnitude of its effect:
+
+1. IOMMU page-walk latency — where the paging baseline's cost comes from,
+2. Guarder register-file sizing — how many translation registers a real
+   task needs (why a handful of registers replaces an IOTLB),
+3. multi-domain ID width — RAM cost of more secure domains (§VII),
+4. memory-encryption composition — sNPU + encryption stays cheap (§VII),
+5. flush context-switch cost — Fig. 14's sensitivity to the switch price,
+6. NoC hop latency — peephole stays exactly free at any hop cost.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.hwcost import baseline_npu_cost, multi_domain_spad_cost
+from repro.common.types import AddressRange, Permission, World
+from repro.driver.compiler import TilingCompiler
+from repro.memory.dram import DRAMModel
+from repro.memory.encryption import MemoryEncryptionEngine
+from repro.memory.pagetable import PageTable
+from repro.mmu.guarder import NPUGuarder
+from repro.mmu.iommu import IOMMU
+from repro.noc.mesh import Mesh
+from repro.noc.router import NoCFabric, NoCPolicy
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.npu.dma import DMAEngine
+from repro.workloads import zoo
+
+CFG = NPUConfig.paper_default()
+
+
+def _compiled(model):
+    return TilingCompiler(CFG).compile(model)
+
+
+def _identity_table(program):
+    table = PageTable()
+    for vrange in program.chunks.values():
+        base = vrange.base & ~4095
+        table.map_range(base, base, vrange.size + 8192)
+    return table
+
+
+def _guarder():
+    guarder = NPUGuarder()
+    guarder.set_checking_register(
+        0, AddressRange(0, 1 << 40), Permission.RW, World.NORMAL,
+        issuer=World.SECURE,
+    )
+    guarder.set_translation_register(0, 0, 0, 1 << 40)
+    return guarder
+
+
+def test_ablation_walk_latency(benchmark):
+    """IOMMU loss scales with page-walk latency; Guarder stays at zero."""
+
+    def sweep():
+        program = _compiled(zoo.resnet18(56))
+        dram = DRAMModel(CFG.dram_bytes_per_cycle)
+        base = NPUCore(CFG, _guarder(), dram).run_detailed(program).cycles
+        out = {}
+        for walk in (20, 80, 320):
+            iommu = IOMMU(_identity_table(program), 16, walk_cycles=walk)
+            out[walk] = base / NPUCore(CFG, iommu, dram).run_detailed(program).cycles
+        return out
+
+    norm = run_once(benchmark, sweep)
+    print(f"\nwalk-latency sweep (normalized perf): {norm}")
+    assert norm[20] > norm[80] > norm[320]
+    assert norm[20] > 0.9  # cheap walks nearly close the gap
+    assert norm[320] < 0.8  # expensive walks blow it open
+
+
+def test_ablation_translation_register_demand(benchmark):
+    """Real tasks need only a handful of translation registers - the whole
+    reason a register file can replace paging."""
+
+    def measure():
+        demand = {}
+        for model in zoo.paper_models("tiny"):
+            program = _compiled(model)
+            demand[model.name] = len(program.chunks)
+        return demand
+
+    demand = run_once(benchmark, measure)
+    print(f"\ntranslation registers needed per task: {demand}")
+    assert max(demand.values()) <= 4  # weights + two activation buffers
+    # The Guarder's 8-register normal bank therefore fits two concurrent
+    # tasks with room to spare.
+    assert 2 * max(demand.values()) <= 8
+
+
+def test_ablation_domain_bits(benchmark):
+    """RAM overhead of multi-domain IDs grows linearly and stays small."""
+
+    def sweep():
+        base = baseline_npu_cost(CFG)
+        return {
+            bits: multi_domain_spad_cost(CFG, bits).ram_kbits / base.ram_kbits
+            for bits in (1, 2, 3, 4)
+        }
+
+    overhead = run_once(benchmark, sweep)
+    print(f"\ndomain-bit RAM overhead: "
+          f"{ {b: f'{v:.2%}' for b, v in overhead.items()} }")
+    assert overhead[1] < overhead[2] < overhead[3] < overhead[4]
+    assert overhead[2] == pytest.approx(2 * overhead[1], rel=0.01)
+    assert overhead[4] < 0.04  # even 15 domains cost < 4% RAM
+
+
+def test_ablation_encryption_composition(benchmark):
+    """sNPU + memory encryption (§VII): the composition stays cheap."""
+
+    def measure():
+        program = _compiled(zoo.yololite(56))
+        dram = DRAMModel(CFG.dram_bytes_per_cycle)
+        plain_core = NPUCore(CFG, _guarder(), dram)
+        plain = plain_core.run_detailed(program).cycles
+        enc_core = NPUCore(CFG, _guarder(), dram)
+        enc_core.dma.encryption = MemoryEncryptionEngine(b"k" * 16, dram)
+        encrypted = enc_core.run_detailed(program).cycles
+        return plain, encrypted
+
+    plain, encrypted = run_once(benchmark, measure)
+    overhead = encrypted / plain - 1.0
+    print(f"\nencryption overhead on top of sNPU: {overhead:+.2%}")
+    assert 0.0 < overhead < 0.30
+
+
+def test_ablation_context_switch_cost(benchmark):
+    """Fig. 14's tile-flush penalty scales with the switch cost."""
+
+    def sweep():
+        model = zoo.yololite(56)
+        out = {}
+        for cost in (100, 500, 2000):
+            cfg = CFG.with_(context_switch_cycles=cost)
+            program = TilingCompiler(cfg).compile(model)
+            core = NPUCore(cfg, _guarder(), DRAMModel(cfg.dram_bytes_per_cycle))
+            base = core.run_analytic(program).cycles
+            flushed = core.run_analytic(program, flush="tile").cycles
+            out[cost] = base / flushed
+        return out
+
+    norm = run_once(benchmark, sweep)
+    print(f"\ncontext-switch sweep (tile-flush normalized perf): {norm}")
+    assert norm[100] > norm[500] > norm[2000]
+
+
+def test_ablation_shared_l2(benchmark):
+    """The shared L2 (Table II) captures cross-layer reuse when enabled."""
+    from repro.memory.l2cache import L2Cache
+
+    def measure():
+        program = _compiled(zoo.yololite(56))
+        dram = DRAMModel(CFG.dram_bytes_per_cycle)
+        base_core = NPUCore(CFG, _guarder(), dram)
+        base = base_core.run_detailed(program).cycles
+        l2_core = NPUCore(CFG, _guarder(), dram)
+        l2 = L2Cache()
+        l2_core.dma.l2 = l2
+        with_l2 = l2_core.run_detailed(program).cycles
+        return base, with_l2, l2.hit_rate
+
+    base, with_l2, hit_rate = run_once(benchmark, measure)
+    print(f"\nshared L2: {base:,.0f} -> {with_l2:,.0f} cycles "
+          f"(hit rate {hit_rate:.1%})")
+    assert with_l2 < base  # reuse exists, the cache captures some of it
+    assert 0.0 < hit_rate < 1.0
+
+
+def test_ablation_noc_contention(benchmark):
+    """Concurrent flows contend for mesh links; peephole still costs zero."""
+    from repro.common.types import World
+    from repro.noc.network import WormholeNetwork
+
+    def measure():
+        rows = []
+        for flows in (1, 2, 4, 8):
+            plain = WormholeNetwork(Mesh(2, 5), peephole=False)
+            auth = WormholeNetwork(Mesh(2, 5), peephole=True)
+            for net in (plain, auth):
+                for _ in range(flows):
+                    net.transfer(0, 4, 4096)  # all share the row-0 links
+            worst_plain = max(o.latency for o in plain.outcomes)
+            worst_auth = max(o.latency for o in auth.outcomes)
+            rows.append((flows, worst_plain, worst_auth))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print("\ncontention sweep (flows, worst latency):")
+    latencies = []
+    for flows, plain, auth in rows:
+        print(f"  {flows} flows: {plain:.0f} cycles")
+        assert auth == plain  # authentication is free even under contention
+        latencies.append(plain)
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > 4 * latencies[0]  # a shared link serializes
+
+
+def test_ablation_noc_hop_latency(benchmark):
+    """Peephole == unauthorized at every hop latency and distance."""
+
+    def sweep():
+        rows = []
+        for hop_cycles in (1, 2, 4):
+            for dst in (1, 4, 9):
+                unauth = NoCFabric(
+                    Mesh(2, 5), NoCPolicy.UNAUTHORIZED, hop_cycles
+                ).transfer(0, dst, 1024)
+                peephole = NoCFabric(
+                    Mesh(2, 5), NoCPolicy.PEEPHOLE, hop_cycles
+                ).transfer(0, dst, 1024)
+                rows.append((hop_cycles, dst, unauth, peephole))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    for hop_cycles, dst, unauth, peephole in rows:
+        assert peephole == unauth, (hop_cycles, dst)

@@ -1,0 +1,24 @@
+"""Fig. 2 taxonomy quantified: access-path comparison (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import access_paths
+
+
+def test_access_paths(benchmark, profile):
+    result = run_once(benchmark, access_paths.run, profile)
+    print()
+    print(result)
+    for row in result.rows:
+        assert row["guarder"] == 1.0
+        # Every legacy path costs runtime; Type-2's staged system-DMA
+        # copy is the most expensive, Type-3's CPU assist the mildest.
+        assert row["type1_iommu"] < 1.0
+        assert row["type2_mmu"] < row["type1_iommu"]
+        assert row["type3_cpu"] < 1.0
+    means = {
+        c: sum(r[c] for r in result.rows) / len(result.rows)
+        for c in ("type1_iommu", "type2_mmu", "type3_cpu")
+    }
+    assert means["type2_mmu"] < 0.7  # staging roughly doubles the traffic
+    assert means["type3_cpu"] > means["type1_iommu"]

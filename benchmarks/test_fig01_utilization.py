@@ -1,0 +1,18 @@
+"""Fig. 1 — FLOPS utilization of single inference workloads."""
+
+from conftest import run_once
+
+from repro.experiments import fig01
+
+
+def test_fig01_utilization(benchmark, profile):
+    result = run_once(benchmark, fig01.run, profile)
+    print()
+    print(result)
+    assert len(result.rows) == 6
+    # Paper claim: on a big NPU, most workloads sit below 50% of peak.
+    below_half = sum(1 for r in result.rows if r["util_tpu_like"] < 0.5)
+    assert below_half >= 4
+    # Utilization always drops (or at best holds) when the NPU scales up.
+    for row in result.rows:
+        assert row["util_tpu_like"] <= row["util_gemmini"] + 0.05

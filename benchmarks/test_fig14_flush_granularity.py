@@ -1,0 +1,18 @@
+"""Fig. 14 — normalized performance under flushing granularities."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_flush_granularity(benchmark, profile):
+    result = run_once(benchmark, fig14.run, profile)
+    print()
+    print(result)
+    mean_tile = sum(r["tile"] for r in result.rows) / len(result.rows)
+    # Paper: "about 25% slowdown under the tile granularity"; coarse
+    # granularities have minor overhead.
+    assert 0.70 <= mean_tile <= 0.88
+    for row in result.rows:
+        assert row["tile"] < row["layer"] <= row["layer5"] <= 1.0
+        assert row["layer5"] >= 0.98

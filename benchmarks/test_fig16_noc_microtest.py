@@ -1,0 +1,21 @@
+"""Fig. 16 — NoC micro-test: software NoC vs unauthorized vs peephole."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16_noc_microtest(benchmark):
+    result = run_once(benchmark, fig16.run)
+    print()
+    print(result)
+    for row in result.rows:
+        # Peephole authentication adds zero cycles.
+        assert row["peephole"] == row["unauthorized"]
+        assert row["software"] > row["peephole"]
+    # Paper: ~3x latency reduction at large transfers (triple bandwidth).
+    big = result.row_for("lines", 256)
+    assert 2.3 <= big["software_over_peephole"] <= 3.8
+    # Small transfers suffer even more from the memory round trip.
+    small = result.row_for("lines", 1)
+    assert small["software_over_peephole"] > big["software_over_peephole"]

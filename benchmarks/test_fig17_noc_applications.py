@@ -1,0 +1,20 @@
+"""Fig. 17 — NoC application test: multi-core DNN pipelines."""
+
+from conftest import run_once
+
+from repro.experiments import fig17
+
+
+def test_fig17_noc_applications(benchmark, profile):
+    result = run_once(benchmark, fig17.run, profile)
+    print()
+    print(result)
+    for row in result.rows:
+        # Peephole never loses to the unauthorized NoC.
+        assert row["peephole"] == 1.0
+        # The software NoC always loses.
+        assert row["software"] < 1.0
+    mean_sw = sum(r["software"] for r in result.rows) / len(result.rows)
+    # Paper: "nearly 20% reduction in overall execution time" for peephole
+    # vs software NoC.
+    assert 0.60 <= mean_sw <= 0.92

@@ -1,0 +1,21 @@
+"""Fig. 18 — additional FPGA resources of each protection mechanism."""
+
+from conftest import run_once
+
+from repro.experiments import fig18
+
+
+def test_fig18_hardware_cost(benchmark):
+    result = run_once(benchmark, fig18.run)
+    print()
+    print(result)
+    by = {r["component"]: r for r in result.rows}
+    # S_Spad is ~1% of RAM (one ID bit per 128-bit line).
+    assert 0.2 <= by["S_Spad"]["ram_pct"] <= 1.5
+    # sNPU logic overhead stays in the low single digits.
+    assert by["sNPU"]["luts_pct"] < 5.0
+    assert by["sNPU"]["ffs_pct"] < 5.0
+    assert by["sNPU"]["ram_pct"] < 1.5
+    # The TrustZone NPU's IOMMU costs more than the whole sNPU package.
+    for metric in ("luts_pct", "ffs_pct", "ram_pct"):
+        assert by["IOMMU"][metric] > by["sNPU"][metric]

@@ -1,0 +1,21 @@
+"""Scratchpad-size sensitivity curves (the mechanism behind Fig. 15)."""
+
+from conftest import run_once
+
+from repro.experiments import sensitivity
+
+
+def test_scratchpad_sensitivity(benchmark, profile):
+    result = run_once(benchmark, sensitivity.run, profile)
+    print()
+    print(result)
+    swings = {r["workload"]: r["swing"] for r in result.rows}
+    # Workloads differ sharply in scratchpad sensitivity - the reason no
+    # single static partition fits every pair (§VI-C).
+    assert max(swings.values()) > 3 * min(swings.values())
+    assert swings["bert"] > 1.0  # "fluctuates violently"
+    for row in result.rows:
+        # Starving a workload never helps: the 1/8 point is the worst
+        # (or ties within noise) for every model.
+        assert row["spad-0.125"] >= row["spad-1"] - 1e-9
+        assert row["spad-0.125"] >= row["spad-0.25"] - 0.02

@@ -1,0 +1,28 @@
+"""Table I — comparison of scratchpad isolation mechanisms."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+#: The paper's qualitative verdicts.
+PAPER_TABLE = {
+    "partition": ("Yes", "Yes", "Low", "Low", "Good"),
+    "flush (coarse-grained)": ("Yes", "No", "Low", "Good", "Poor"),
+    "flush (fine-grained)": ("Yes", "No", "Low", "Low", "Good"),
+    "sNPU": ("Yes", "Yes", "High", "Good", "Good"),
+}
+
+
+def test_table1_isolation_matrix(benchmark, profile):
+    result = run_once(benchmark, table1.run, profile)
+    print()
+    print(result)
+    for row in result.rows:
+        expected = PAPER_TABLE[row["mechanism"]]
+        measured = (
+            row["temporal"], row["spatial"], row["utilization"],
+            row["performance"], row["sla"],
+        )
+        assert measured == expected, (
+            f"{row['mechanism']}: measured {measured}, paper {expected}"
+        )

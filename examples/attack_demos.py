@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Attack demos: the paper's threat model, executed.
+
+Runs every attack scenario twice — against the unprotected Normal NPU and
+against sNPU — and shows what leaks and what gets blocked.  The headline
+scenario is LeftoverLocals (CVE-2023-4969-style scratchpad residue theft),
+which the paper highlights as affecting Apple, AMD and Qualcomm parts.
+"""
+
+from repro.security.attacks import ALL_ATTACKS, SECRET, run_all_attacks
+
+
+def main() -> None:
+    print(f"the secret at stake: {SECRET[:24]!r}...\n")
+
+    print(f"{'attack':30s} {'Normal NPU':>22s}   {'sNPU':>28s}")
+    print("-" * 86)
+    baseline = {r.name: r for r in run_all_attacks("none")}
+    defended = {r.name: r for r in run_all_attacks("snpu")}
+    for name in ALL_ATTACKS:
+        b, d = baseline[name], defended[name]
+        b_text = "SECRET LEAKED" if b.succeeded else f"blocked ({b.blocked_by})"
+        d_text = "SECRET LEAKED" if d.succeeded else f"blocked ({d.blocked_by})"
+        print(f"{name:30s} {b_text:>22s}   {d_text:>28s}")
+
+    print("\nLeftoverLocals in detail:")
+    ll_base = baseline["leftoverlocals"]
+    ll_snpu = defended["leftoverlocals"]
+    print(f"  Normal NPU: {ll_base.detail}")
+    print(f"  sNPU      : {ll_snpu.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Inspect a compiled schedule: disassembly, instruction mix, DMA trace.
+
+Shows the toolchain-facing side of the library: lower a model to the
+architectural instruction stream (Gemmini-style), count the instruction
+mix, and record the DMA trace of a detailed run for offline analysis.
+"""
+
+import itertools
+
+from repro.driver.compiler import TilingCompiler
+from repro.memory.dram import DRAMModel
+from repro.mmu.base import NoProtection
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.npu.dma import DMAEngine
+from repro.npu.instructions import disassemble, instruction_histogram, lower_program
+from repro.workloads import zoo
+
+
+def main() -> None:
+    config = NPUConfig.paper_default()
+    compiler = TilingCompiler(config)
+    model = zoo.yololite(64)
+    program = compiler.compile(model)
+    print(model.summary())
+
+    print("\nfirst 18 instructions of the lowered stream:")
+    for instr in itertools.islice(lower_program(program), 18):
+        print(f"  {disassemble(instr)}")
+
+    histogram = instruction_histogram(program)
+    total = sum(histogram.values())
+    print(f"\ninstruction mix ({total:,} instructions):")
+    for opcode, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+        print(f"  {opcode:10s} {count:8,}  ({count / total:6.1%})")
+
+    print("\nDMA trace of a detailed run (first 8 transfers):")
+    core = NPUCore(config, NoProtection(), DRAMModel(config.dram_bytes_per_cycle))
+    core.dma.start_trace()
+    result = core.run_detailed(program)
+    records = core.dma.stop_trace()
+    csv = DMAEngine.trace_csv(records)
+    for line in csv.strip().split("\n")[:9]:
+        print(f"  {line}")
+    print(
+        f"\n{len(records):,} transfers, {result.dma_bytes / 1e6:.1f} MB, "
+        f"{result.cycles:,.0f} cycles total "
+        f"(write the full trace with DMAEngine.trace_csv(...))"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-core layer pipelining over the NoC, with route integrity.
+
+Maps a DNN across four NPU cores (layer-interleaved, as the paper's
+multi-core usage) and compares the three inter-core transports of
+Figs. 16/17: shared-memory software NoC, unauthorized direct NoC, and
+sNPU's peephole-authenticated NoC.  Then demonstrates the secure loader's
+route-integrity check rejecting a malicious 1x4 schedule for a 2x2 task.
+"""
+
+from repro.common.types import World
+from repro.driver.compiler import TilingCompiler
+from repro.errors import RouteIntegrityError
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.monitor import NPUMonitor
+from repro.noc.mesh import Mesh
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.npu.multicore import NPUComplex
+from repro.workloads import zoo
+
+
+def main() -> None:
+    config = NPUConfig.paper_default()
+    mesh = Mesh(2, 5)
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    complex_ = NPUComplex(config, mesh, dram)
+    compiler = TilingCompiler(config)
+
+    model = zoo.resnet18(112)
+    program = compiler.compile(model)
+    print(f"pipelining {model.name} over 4 cores, 8 frames\n")
+
+    results = {
+        method: complex_.run_pipeline(program, n_cores=4, method=method)
+        for method in ("unauthorized", "peephole", "software")
+    }
+    base = results["unauthorized"]
+    for method, res in results.items():
+        print(
+            f"{method:13s}: {res.e2e_cycles:14,.0f} cycles "
+            f"(x{res.e2e_cycles / base.e2e_cycles:5.3f}, frame interval "
+            f"{res.frame_interval:10,.0f})"
+        )
+    print(
+        "\npeephole matches the unauthorized NoC cycle-for-cycle; the "
+        "software NoC pays DRAM round trips for every crossing activation."
+    )
+
+    # ------------------------------------------------------------------
+    # Route integrity: the Monitor refuses a wrong-shaped allocation.
+    # ------------------------------------------------------------------
+    print("\nroute integrity check:")
+    guarder = NPUGuarder()
+    cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(10)]
+    monitor = NPUMonitor(MemoryMap.default(), guarder, cores, mesh)
+    monitor.boot()
+
+    secure_program = compiler.compile(model, world=World.SECURE)
+    secure_program.topology = (2, 2)
+    monitor.submit(secure_program, secure_program.measurement())
+    try:
+        monitor.schedule_next([0, 1, 2, 3])  # a 1x4 row - route hijack
+    except RouteIntegrityError as exc:
+        print(f"  1x4 schedule rejected: {exc}")
+    scheduled = monitor.schedule_next([0, 1, 5, 6])  # a true 2x2 sub-mesh
+    print(f"  2x2 schedule accepted on cores {scheduled.core_ids}")
+    monitor.complete(scheduled)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: build an sNPU SoC, run a workload, run it *securely*.
+
+Shows the package's primary API surface:
+
+* :class:`repro.SoC` / :class:`repro.SoCConfig` — system construction,
+* ``run_model`` — compile + bind + execute a DNN,
+* secure submission through the NPU Monitor's trampoline,
+* the headline result: sNPU's security costs ~0 runtime cycles.
+"""
+
+from repro import SoC, SoCConfig
+from repro.workloads import zoo
+
+
+def main() -> None:
+    # A full SoC: Gemmini-style NPU tiles + Guarder + Monitor + mesh NoC.
+    soc = SoC(SoCConfig(protection="snpu"))
+    model = zoo.mobilenet(input_size=112)
+    print(model.summary())
+
+    # --- run as an ordinary (non-secure) task -------------------------
+    plain = soc.run_model(model)
+    print(
+        f"\nnon-secure run : {plain.cycles:12,.0f} cycles "
+        f"({plain.utilization:6.1%} of peak, "
+        f"{plain.dma_bytes / 1e6:6.1f} MB DMA)"
+    )
+
+    # --- run as a *secure* task ---------------------------------------
+    # The driver marshals the task through the Monitor's trampoline; the
+    # Monitor verifies the code measurement, allocates secure memory,
+    # programs the NPU secure context, and scrubs it afterwards.
+    handle = soc.submit(model, secure=True)
+    secure = soc.run(handle)
+    print(
+        f"secure run     : {secure.cycles:12,.0f} cycles "
+        f"(overhead {secure.cycles / plain.cycles - 1.0:+.2%})"
+    )
+
+    # --- compare with the TrustZone NPU baseline ----------------------
+    tz = SoC(SoCConfig(protection="trustzone", iotlb_entries=16))
+    tz_handle = tz.submit(model, secure=True)
+    tz_secure = tz.run(tz_handle, detailed=True)  # IOTLB simulated
+    tz.release(tz_handle)
+    print(
+        f"TrustZone NPU  : {tz_secure.cycles:12,.0f} cycles "
+        f"(overhead {tz_secure.cycles / plain.cycles - 1.0:+.2%}, "
+        f"{tz_secure.check_stats.page_walks:,} page walks)"
+    )
+
+    print(
+        "\nsNPU provides the same protection with (almost) zero runtime "
+        "cost - Fig. 13's result."
+    )
+
+
+if __name__ == "__main__":
+    main()

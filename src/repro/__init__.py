@@ -1,0 +1,40 @@
+"""sNPU: Trusted Execution Environments on Integrated NPUs (ISCA 2024).
+
+A production-quality architectural-simulation reproduction of the paper's
+system: a Gemmini-style integrated NPU with the sNPU security extensions
+(NPU Guarder, NPU Isolator, NPU Monitor), the comparative baselines
+(Normal NPU, TrustZone NPU), and a benchmark harness regenerating every
+table and figure of the evaluation.
+
+Quick start::
+
+    from repro import SoC, SoCConfig
+    from repro.workloads import zoo
+
+    soc = SoC(SoCConfig(protection="snpu"))
+    result = soc.run_model(zoo.mobilenet(112))
+    print(f"{result.cycles:.0f} cycles, {result.utilization:.1%} of peak")
+"""
+
+from repro.soc import SoC, SoCConfig, TaskHandle
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore, RunResult
+from repro.common.types import World, Permission, AddressRange, DmaRequest
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SoC",
+    "SoCConfig",
+    "TaskHandle",
+    "NPUConfig",
+    "NPUCore",
+    "RunResult",
+    "World",
+    "Permission",
+    "AddressRange",
+    "DmaRequest",
+    "errors",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Static analyses: FLOPS utilization, FPGA resource cost, TCB accounting."""
+
+from repro.analysis.utilization import utilization_report, UtilizationRow
+from repro.analysis.hwcost import (
+    ResourceCost,
+    baseline_npu_cost,
+    snpu_extension_cost,
+    iommu_cost,
+    hardware_cost_report,
+)
+from repro.analysis.tcb import tcb_report, TCBComponent, count_package_loc
+
+__all__ = [
+    "utilization_report",
+    "UtilizationRow",
+    "ResourceCost",
+    "baseline_npu_cost",
+    "snpu_extension_cost",
+    "iommu_cost",
+    "hardware_cost_report",
+    "tcb_report",
+    "TCBComponent",
+    "count_package_loc",
+]

@@ -1,0 +1,69 @@
+"""FLOPS utilization of single inference workloads (Fig. 1).
+
+The paper's Fig. 1 motivates multitasking: "Most ML workloads utilize less
+than 50% of the computational resource available in the TPU core",
+attributed to "temporal idleness of MCU and the inefficient use of memory
+bandwidth".
+
+We report utilization on two configurations:
+
+* the paper's Gemmini tile (Table II), and
+* a TPU-like scale-up (bigger array, relatively less bandwidth) showing
+  that utilization drops further as the NPU grows — the effect the figure
+  was measured on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.npu.config import NPUConfig
+from repro.workloads.model import ModelGraph
+
+
+@dataclass
+class UtilizationRow:
+    """One bar of Fig. 1."""
+
+    workload: str
+    utilization: float
+    cycles: float
+    macs: int
+
+    def __str__(self) -> str:
+        return f"{self.workload:12s} {self.utilization:6.1%}"
+
+
+def tpu_like_config() -> NPUConfig:
+    """A TPU-flavoured scale-up: 64x64 MXU, large scratchpad, and a
+    compute/bandwidth ratio far above the Gemmini tile's."""
+    return NPUConfig(
+        array_dim=64,
+        spad_bytes=8 * 1024 * 1024,
+        acc_bytes_total=2 * 1024 * 1024,
+        dram_bytes_per_cycle=64.0,
+        weight_preload_cycles=64,
+    )
+
+
+def utilization_report(
+    models: List[ModelGraph],
+    config: Optional[NPUConfig] = None,
+) -> List[UtilizationRow]:
+    """Measure end-to-end FLOPS utilization of each workload."""
+    config = config or NPUConfig.paper_default()
+    scheduler = MultiTaskScheduler(config)
+    rows: List[UtilizationRow] = []
+    for model in models:
+        result = scheduler.run(model)
+        rows.append(
+            UtilizationRow(
+                workload=model.name,
+                utilization=result.utilization,
+                cycles=result.cycles,
+                macs=result.macs,
+            )
+        )
+    return rows

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+::
+
+    python -m repro models                 # list the workload zoo
+    python -m repro info                   # Table II configuration
+    python -m repro run resnet --secure    # run a model on a protection
+    python -m repro attacks                # execute the attack matrix
+    python -m repro experiments fig13 fig14   # regenerate figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import SoC, SoCConfig
+from repro.npu.config import NPUConfig
+from repro.workloads import zoo
+
+EXPERIMENT_IDS = (
+    "fig01", "fig13", "fig13-energy", "fig14", "fig15", "fig16", "fig17",
+    "fig18", "table1", "tcb", "sensitivity", "access-paths", "all",
+)
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name, builder in zoo.MODEL_BUILDERS.items():
+        model = builder(args.input_size) if name != "bert" else zoo.bert()
+        print(model.summary())
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    cfg = NPUConfig.paper_default()
+    print("SoC configuration (Table II):")
+    print(f"  systolic array dimension : {cfg.array_dim}")
+    print(f"  scratchpad per tile      : {cfg.spad_bytes // 1024} KiB "
+          f"({cfg.spad_line_bytes * 8}-bit lines)")
+    print(f"  accumulator per tile     : {cfg.acc_bytes_total // 1024} KiB "
+          f"({cfg.acc_line_bytes * 8}-bit lines)")
+    print(f"  accelerator tiles        : {cfg.num_cores}")
+    print(f"  shared L2                : {cfg.l2_bytes // (1024 * 1024)} MiB, "
+          f"{cfg.l2_banks} banks")
+    print(f"  DRAM bandwidth           : {cfg.dram_gbps:.0f} GB/s")
+    print(f"  frequency                : {cfg.freq_ghz:.0f} GHz")
+    print(f"  peak throughput          : {cfg.peak_gops:.0f} GMAC/s")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.model not in zoo.MODEL_BUILDERS:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
+        return 2
+    if args.model == "bert":
+        model = zoo.bert(seq_len=128, layers=6)
+    elif args.model == "gpt":
+        model = zoo.gpt_decoder(seq_len=128, layers=6)
+    else:
+        model = zoo.MODEL_BUILDERS[args.model](args.input_size)
+    soc = SoC(SoCConfig(protection=args.protection))
+    print(model.summary())
+    handle = soc.submit(model, secure=args.secure)
+    result = soc.run(handle, detailed=args.detailed)
+    soc.release(handle)
+    print(
+        f"{args.protection}{' secure' if args.secure else ''}: "
+        f"{result.cycles:,.0f} cycles "
+        f"({result.cycles / 1e6 / NPUConfig.paper_default().freq_ghz:.2f} ms "
+        f"at 1 GHz), {result.utilization:.1%} of peak, "
+        f"{result.dma_bytes / 1e6:.1f} MB DMA"
+    )
+    if args.detailed and result.check_stats.translations:
+        stats = result.check_stats
+        print(
+            f"access control: {stats.translations:,} translations, "
+            f"{stats.misses:,} IOTLB misses, {stats.page_walks:,} walks"
+        )
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.security.attacks import ALL_ATTACKS, run_all_attacks
+
+    for protection in args.protections:
+        print(f"== protection: {protection} ==")
+        for result in run_all_attacks(protection):
+            outcome = (
+                "SECRET LEAKED"
+                if result.succeeded
+                else f"blocked by {result.blocked_by}"
+            )
+            print(f"  {result.name:28s} {outcome}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig01, fig13, fig14, fig15, fig16, fig17, fig18, sensitivity,
+        table1, tcb,
+    )
+
+    ids = args.ids or ["all"]
+    if "all" in ids:
+        from repro.experiments.all import run_all
+
+        run_all(args.profile)
+        return 0
+    for exp_id in ids:
+        if exp_id == "fig01":
+            print(fig01.run(args.profile))
+        elif exp_id == "fig13":
+            a, b = fig13.run(args.profile)
+            print(a)
+            print()
+            print(b)
+        elif exp_id == "fig13-energy":
+            print(fig13.run_energy(args.profile))
+        elif exp_id == "sensitivity":
+            print(sensitivity.run(args.profile))
+        elif exp_id == "access-paths":
+            from repro.experiments import access_paths
+
+            print(access_paths.run(args.profile))
+        elif exp_id == "fig14":
+            print(fig14.run(args.profile))
+        elif exp_id == "fig15":
+            print(fig15.run(args.profile))
+        elif exp_id == "fig16":
+            print(fig16.run())
+        elif exp_id == "fig17":
+            print(fig17.run(args.profile))
+        elif exp_id == "fig18":
+            print(fig18.run())
+        elif exp_id == "table1":
+            print(table1.run(args.profile))
+        elif exp_id == "tcb":
+            print(tcb.run())
+        else:
+            print(f"unknown experiment {exp_id!r}; choose from "
+                  f"{', '.join(EXPERIMENT_IDS)}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import validate_all
+
+    return 0 if validate_all(args.profile) else 1
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    import itertools
+
+    from repro.driver.compiler import TilingCompiler
+    from repro.npu.config import NPUConfig
+    from repro.npu.instructions import (
+        disassemble, instruction_histogram, lower_program,
+    )
+
+    if args.model not in zoo.MODEL_BUILDERS:
+        print(f"unknown model {args.model!r}", file=sys.stderr)
+        return 2
+    if args.model in ("bert", "gpt"):
+        model = zoo.MODEL_BUILDERS[args.model](64, 2)
+    else:
+        model = zoo.MODEL_BUILDERS[args.model](args.input_size)
+    program = TilingCompiler(NPUConfig.paper_default()).compile(model)
+    stream = lower_program(program)
+    if args.limit:
+        stream = itertools.islice(stream, args.limit)
+    for instr in stream:
+        print(disassemble(instr))
+    histogram = instruction_histogram(program)
+    print(f"\ninstruction mix: "
+          + ", ".join(f"{k}={v:,}" for k, v in sorted(histogram.items())))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="sNPU (ISCA 2024) architectural-simulation reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_models = sub.add_parser("models", help="list the workload zoo")
+    p_models.add_argument("--input-size", type=int, default=224)
+    p_models.set_defaults(func=_cmd_models)
+
+    p_info = sub.add_parser("info", help="print the Table II configuration")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_run = sub.add_parser("run", help="run one workload on a protection")
+    p_run.add_argument("model", help=", ".join(zoo.MODEL_BUILDERS))
+    p_run.add_argument(
+        "--protection", choices=("none", "trustzone", "snpu"), default="snpu"
+    )
+    p_run.add_argument("--secure", action="store_true")
+    p_run.add_argument("--detailed", action="store_true",
+                       help="simulate every DMA descriptor (slower)")
+    p_run.add_argument("--input-size", type=int, default=112)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_attacks = sub.add_parser("attacks", help="execute the attack matrix")
+    p_attacks.add_argument(
+        "protections", nargs="*", default=["none", "snpu"],
+        choices=("none", "snpu"),
+    )
+    p_attacks.set_defaults(func=_cmd_attacks)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("ids", nargs="*", metavar="ID",
+                       help=", ".join(EXPERIMENT_IDS))
+    p_exp.add_argument("--profile", choices=("tiny", "eval", "paper"),
+                       default="eval")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_val = sub.add_parser(
+        "validate", help="cross-check the analytic vs detailed timing paths"
+    )
+    p_val.add_argument("--profile", choices=("tiny", "eval", "paper"),
+                       default="tiny")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_dis = sub.add_parser(
+        "disasm", help="lower a workload to its NPU instruction stream"
+    )
+    p_dis.add_argument("model", help=", ".join(zoo.MODEL_BUILDERS))
+    p_dis.add_argument("--input-size", type=int, default=64)
+    p_dis.add_argument("--limit", type=int, default=40,
+                       help="instructions to print (0 = all)")
+    p_dis.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Shared primitive types used across every subsystem."""
+
+from repro.common.types import (
+    World,
+    Permission,
+    AddressRange,
+    MemoryPacket,
+    DmaRequest,
+    PAGE_SIZE,
+    PACKET_BYTES,
+    page_of,
+    pages_of_range,
+    align_up,
+    align_down,
+)
+
+__all__ = [
+    "World",
+    "Permission",
+    "AddressRange",
+    "MemoryPacket",
+    "DmaRequest",
+    "PAGE_SIZE",
+    "PACKET_BYTES",
+    "page_of",
+    "pages_of_range",
+    "align_up",
+    "align_down",
+]

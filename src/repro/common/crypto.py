@@ -1,0 +1,51 @@
+"""Cryptographic primitives used by the Monitor.
+
+The paper's Monitor spends most of its 12.8 kLoC on "cryptographic
+functions like model decryption and code integrity measurement" (§V).
+Here measurement is SHA-256 and model encryption is a SHA-256-based
+stream cipher (CTR construction) — functionally adequate stand-ins with
+no external dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import ConfigError
+
+
+def measure(blob: bytes) -> bytes:
+    """Integrity measurement: SHA-256 digest of *blob*."""
+    return hashlib.sha256(blob).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "little")
+        ).digest()
+        out += block
+        counter += 1
+    return bytes(out[:length])
+
+
+def stream_cipher(key: bytes, data: bytes, nonce: bytes = b"") -> bytes:
+    """Symmetric CTR-style stream cipher (same call encrypts and decrypts)."""
+    if not key:
+        raise ConfigError("empty cipher key")
+    ks = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, ks))
+
+
+def mac(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 authentication tag."""
+    if not key:
+        raise ConfigError("empty MAC key")
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def verify_mac(key: bytes, data: bytes, tag: bytes) -> bool:
+    return hmac.compare_digest(mac(key, data), tag)

@@ -1,0 +1,240 @@
+"""Primitive architectural types shared by the whole simulator.
+
+The units used throughout the package are:
+
+* **addresses / sizes** — bytes (plain ``int``),
+* **time** — clock cycles of the 1 GHz SoC clock (plain ``int``/``float``),
+* **bandwidth** — bytes per cycle.
+
+The constants below mirror the paper's platform: 4 KiB pages for the IOMMU
+baseline and 64-byte memory packets produced by the DMA engine (§IV-A:
+"the DMA engine divides it into multiple fixed-size memory packets
+(e.g., 64 bytes)").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: IOMMU page size in bytes (standard 4 KiB pages).
+PAGE_SIZE = 4096
+
+#: Size of one memory packet emitted by the DMA engine, in bytes.
+PACKET_BYTES = 64
+
+
+class World(enum.IntEnum):
+    """TrustZone-style security world of a hardware or software agent.
+
+    The paper's sNPU uses a single ID bit (0 = non-secure, 1 = secure) for
+    NPU cores, scratchpad lines and NoC packets; :class:`World` is that bit.
+    """
+
+    NORMAL = 0
+    SECURE = 1
+
+    @property
+    def is_secure(self) -> bool:
+        return self is World.SECURE
+
+
+class Permission(enum.IntFlag):
+    """Read/write permissions attached to memory regions and check registers."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    RW = READ | WRITE
+
+    def allows(self, other: "Permission") -> bool:
+        """Return True when every right in *other* is granted by *self*."""
+        return (self & other) == other
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment*."""
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment*."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def page_of(addr: int) -> int:
+    """Return the page number containing byte address *addr*."""
+    return addr // PAGE_SIZE
+
+
+def pages_of_range(base: int, size: int) -> List[int]:
+    """Return the ordered list of page numbers touched by ``[base, base+size)``."""
+    if size <= 0:
+        return []
+    first = page_of(base)
+    last = page_of(base + size - 1)
+    return list(range(first, last + 1))
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[base, base + size)`` in some address space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size < 0:
+            raise ConfigError(
+                f"invalid address range base={self.base:#x} size={self.size:#x}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        """Return True when ``[addr, addr+size)`` lies fully inside the range."""
+        return self.base <= addr and addr + size <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """Return True when the two ranges share at least one byte."""
+        return self.base < other.end and other.base < self.end
+
+    def pages(self) -> List[int]:
+        """Page numbers touched by this range."""
+        return pages_of_range(self.base, self.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.base, self.size))
+
+
+@dataclass(frozen=True)
+class MemoryPacket:
+    """One fixed-size bus transaction produced by splitting a DMA request."""
+
+    addr: int
+    size: int
+    is_write: bool
+    world: World = World.NORMAL
+
+    @property
+    def page(self) -> int:
+        return page_of(self.addr)
+
+
+@dataclass
+class DmaRequest:
+    """A single DMA descriptor issued by the NPU core.
+
+    A request moves ``size`` contiguous *virtual* bytes between system memory
+    and the scratchpad.  The DMA engine later translates it (through the
+    configured access controller) and splits it into
+    :data:`PACKET_BYTES`-sized memory packets.
+
+    Attributes
+    ----------
+    vaddr:
+        Virtual start address of the transfer.
+    size:
+        Number of bytes moved.
+    is_write:
+        True for scratchpad -> memory (``mvout``), False for ``mvin``.
+    world:
+        Security world of the issuing NPU core.
+    stream:
+        Logical data stream the request belongs to (``"input"``,
+        ``"weight"``, ``"output"``, ...).  Only used for statistics.
+    row_stride:
+        When the request gathers ``rows`` rows of ``row_bytes`` bytes
+        separated by ``row_stride`` bytes (a 2-D strided tile read), the
+        packets touch one page run per row.  ``row_stride == 0`` means the
+        transfer is fully contiguous.
+    """
+
+    vaddr: int
+    size: int
+    is_write: bool
+    world: World = World.NORMAL
+    stream: str = "data"
+    rows: int = 1
+    row_bytes: int = 0
+    row_stride: int = 0
+    #: Architectural DMA descriptors this simulated request stands for.
+    #: Hardware issues one ``mvin``/``mvout`` per ``array_dim`` rows; the
+    #: simulator batches a block's uniform descriptors into one request and
+    #: lets register-based checkers account one check per descriptor.
+    sub_requests: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"DMA request with non-positive size {self.size}")
+        if self.rows < 1:
+            raise ConfigError(f"DMA request with non-positive rows {self.rows}")
+        if self.rows > 1 and self.row_bytes <= 0:
+            raise ConfigError("multi-row DMA request requires row_bytes > 0")
+
+    @property
+    def num_packets(self) -> int:
+        """Number of 64-byte memory packets the engine splits this into."""
+        if self.rows <= 1:
+            return max(1, -(-self.size // PACKET_BYTES))
+        per_row = max(1, -(-self.row_bytes // PACKET_BYTES))
+        return per_row * self.rows
+
+    def row_ranges(self) -> List[Tuple[int, int]]:
+        """Return the (vaddr, size) of every contiguous run in the request."""
+        if self.rows <= 1:
+            return [(self.vaddr, self.size)]
+        return [
+            (self.vaddr + r * self.row_stride, self.row_bytes)
+            for r in range(self.rows)
+        ]
+
+    def pages(self) -> List[int]:
+        """Ordered, de-duplicated page numbers touched by the request."""
+        seen = set()
+        ordered: List[int] = []
+        for base, size in self.row_ranges():
+            for page in pages_of_range(base, size):
+                if page not in seen:
+                    seen.add(page)
+                    ordered.append(page)
+        return ordered
+
+
+@dataclass
+class CheckStats:
+    """Counters shared by every access-control mechanism.
+
+    ``translations`` counts lookups in the translation structure (IOTLB
+    lookups for the IOMMU, register matches for the Guarder) and is the
+    quantity plotted in Fig. 13(b).  ``checks`` counts permission checks.
+    """
+
+    translations: int = 0
+    checks: int = 0
+    misses: int = 0
+    page_walks: int = 0
+    walk_cycles: int = 0
+    violations: int = 0
+
+    def merge(self, other: "CheckStats") -> None:
+        self.translations += other.translations
+        self.checks += other.checks
+        self.misses += other.misses
+        self.page_walks += other.page_walks
+        self.walk_cycles += other.walk_cycles
+        self.violations += other.violations
+
+    def reset(self) -> None:
+        self.translations = 0
+        self.checks = 0
+        self.misses = 0
+        self.page_walks = 0
+        self.walk_cycles = 0
+        self.violations = 0

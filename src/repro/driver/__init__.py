@@ -1,0 +1,23 @@
+"""The (untrusted) NPU software stack: compiler, driver, scheduler."""
+
+from repro.driver.compiler import TilingCompiler, Blocking
+from repro.driver.driver import NPUDriver, TaskBinding
+from repro.driver.scheduler import (
+    MultiTaskScheduler,
+    PreemptionStats,
+    SpatialShareResult,
+    TemporalShareResult,
+    TimelineEvent,
+)
+
+__all__ = [
+    "TilingCompiler",
+    "Blocking",
+    "NPUDriver",
+    "TaskBinding",
+    "MultiTaskScheduler",
+    "PreemptionStats",
+    "SpatialShareResult",
+    "TemporalShareResult",
+    "TimelineEvent",
+]

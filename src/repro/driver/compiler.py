@@ -1,0 +1,672 @@
+"""Tiling compiler: lowers DNN kernels onto blocked NPU op schedules.
+
+For every GEMM kernel the compiler picks a blocking ``(Mb, Kb, Nb)`` under
+the scratchpad/accumulator budget (double-buffered), using the classic
+loop order ``for n / for m / for k`` with accumulation innermost:
+
+* input block ``(Mb x Kb)`` is re-streamed once per N-block pass,
+* weight block ``(Kb x Nb)`` is streamed once per (n, m, k) step,
+* the output block ``(Mb x Nb)`` leaves the accumulator after the k-loop.
+
+DRAM traffic therefore scales as
+``input_pass * ceil(N/Nb) + weights * ceil(M/Mb) + output`` — shrinking
+the scratchpad budget shrinks ``Nb``/``Mb`` and multiplies traffic, which
+is exactly the partition sensitivity Fig. 15 measures.
+
+The compiler emits both the analytic layer summary and a detailed
+iteration factory producing real :class:`~repro.common.types.DmaRequest`
+descriptors whose page-touch patterns drive the IOTLB simulation
+(Fig. 13).  DMA descriptors are architecturally issued per ``array_dim``
+rows (Gemmini's ``mvin``); uniform descriptors of one block are batched
+into a single simulated request carrying ``sub_requests`` for correct
+Guarder/IOMMU accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.types import AddressRange, DmaRequest, World
+from repro.errors import ConfigError
+from repro.npu.config import NPUConfig
+from repro.npu.isa import LayerSchedule, NPUProgram, SpadTransfer, TileIteration
+from repro.npu.systolic import SystolicArray
+from repro.workloads.model import GemmSpec, Kernel, ModelGraph, VectorSpec
+
+#: Default virtual base address of a task's address space.
+TASK_VA_BASE = 0x1000_0000
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _round_up(a: int, b: int) -> int:
+    return _ceil_div(a, b) * b
+
+
+@dataclass(frozen=True)
+class Blocking:
+    """Chosen block sizes for one GEMM layer (elements, not bytes)."""
+
+    mb: int
+    kb: int
+    nb: int
+    #: Groups of a repeated GEMM packed into one tile iteration.
+    pack: int = 1
+
+
+@dataclass
+class _Layout:
+    """Virtual-address layout of one compiled task."""
+
+    weights: AddressRange
+    act0: AddressRange
+    act1: AddressRange
+
+    def act(self, index: int) -> AddressRange:
+        return self.act0 if index % 2 == 0 else self.act1
+
+
+class TilingCompiler:
+    """Compiles :class:`~repro.workloads.model.ModelGraph` to NPU programs."""
+
+    #: Candidate M/N block sizes (multiples of the array dimension).
+    _CANDIDATES = (16, 32, 64, 128, 256, 512)
+    #: Target bytes of packed-group input per iteration for repeated GEMMs.
+    _PACK_TARGET_BYTES = 16 * 1024
+
+    def __init__(self, config: NPUConfig):
+        self.config = config
+        self._systolic = SystolicArray(config)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        model: ModelGraph,
+        spad_budget_bytes: Optional[int] = None,
+        acc_budget_bytes: Optional[int] = None,
+        world: World = World.NORMAL,
+        va_base: int = TASK_VA_BASE,
+    ) -> NPUProgram:
+        """Compile *model* under the given scratchpad budget.
+
+        ``spad_budget_bytes`` defaults to the full per-tile scratchpad; the
+        spatial-sharing experiments pass a fraction of it.
+        """
+        budget = spad_budget_bytes or self.config.spad_bytes
+        if acc_budget_bytes is None:
+            # The accumulator is carved out of the same scratchpad banks, so
+            # a capacity split shrinks it proportionally - this is what
+            # makes output-block sizes (and hence re-fetch traffic) depend
+            # on the partition fraction (Fig. 15).
+            acc_budget_bytes = max(
+                4 * self.config.array_dim * self.config.acc_elem_bytes,
+                self.config.acc_bytes_total * budget // self.config.spad_bytes,
+            )
+        acc_budget = acc_budget_bytes
+        if budget < 4 * self.config.array_dim * self.config.array_dim:
+            raise ConfigError(
+                f"scratchpad budget {budget} too small for one {self.config.array_dim}"
+                f"-wide tile"
+            )
+
+        kernels = model.lower()
+        # Pre-pass: choose blockings so the weight chunk can be laid out in
+        # blocked (pre-tiled) form — weights are static, so the toolchain
+        # stores each (k, n) block contiguously, as Gemmini's does.
+        blockings: Dict[int, Blocking] = {}
+        padded_weights: Dict[int, int] = {}
+        for idx, kernel in enumerate(kernels):
+            if isinstance(kernel, GemmSpec):
+                blocking = self._choose_blocking(kernel, budget, acc_budget)
+                blockings[idx] = blocking
+                padded_weights[idx] = (
+                    0
+                    if kernel.b_is_activation
+                    else self._padded_weight_bytes(kernel, blocking)
+                )
+        layout = self._build_layout(va_base, kernels, padded_weights)
+        layers: List[LayerSchedule] = []
+        weight_offset = 0
+        for idx, kernel in enumerate(kernels):
+            act_in = layout.act(idx)
+            act_out = layout.act(idx + 1)
+            if isinstance(kernel, GemmSpec):
+                layer = self._compile_gemm(
+                    kernel, idx, blockings[idx], layout, weight_offset,
+                    act_in, act_out, world,
+                )
+                weight_offset += padded_weights[idx]
+            else:
+                layer = self._compile_vector(
+                    kernel, idx, budget, act_in, act_out, world
+                )
+            layers.append(layer)
+
+        program = NPUProgram(
+            task_name=model.name,
+            layers=layers,
+            world=world,
+            chunks={
+                "weights": layout.weights,
+                "act0": layout.act0,
+                "act1": layout.act1,
+            },
+            meta={
+                "model": model.name,
+                "spad_budget_bytes": budget,
+                "acc_budget_bytes": acc_budget,
+            },
+        )
+        return program
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _padded_weight_bytes(self, spec: GemmSpec, b: Blocking) -> int:
+        """Blocked-layout weight footprint: full-size slot per (k, n) block."""
+        slots = _ceil_div(spec.k, b.kb) * _ceil_div(spec.n, b.nb)
+        return slots * b.kb * b.nb * self.config.input_bytes * spec.repeat
+
+    def _build_layout(
+        self,
+        va_base: int,
+        kernels: List[Kernel],
+        padded_weights: Dict[int, int],
+    ) -> _Layout:
+        total_weights = sum(padded_weights.values())
+        ib, ob = self.config.input_bytes, self.config.output_bytes
+        max_act = 0
+        for k in kernels:
+            if isinstance(k, GemmSpec):
+                per = max(k.input_bytes_per_pass * ib, k.output_bytes * ob)
+                if k.b_is_activation:
+                    per += k.weight_bytes * ib
+                max_act = max(max_act, per * k.repeat)
+            else:
+                max_act = max(max_act, k.in_bytes * ib, k.out_bytes * ob)
+        align = 1 << 12  # page aligned chunks
+        w_size = _round_up(max(total_weights, 1), align)
+        a_size = _round_up(max(max_act, 1), align)
+        weights = AddressRange(va_base, w_size)
+        act0 = AddressRange(weights.end, a_size)
+        act1 = AddressRange(act0.end, a_size)
+        return _Layout(weights=weights, act0=act0, act1=act1)
+
+    # ------------------------------------------------------------------
+    # GEMM blocking
+    # ------------------------------------------------------------------
+    def _choose_blocking(
+        self, spec: GemmSpec, budget: int, acc_budget: int
+    ) -> Blocking:
+        d = self.config.array_dim
+        ib = self.config.input_bytes
+        acc_eb = self.config.acc_elem_bytes
+        m_cap = _round_up(spec.m, d) if spec.m >= d else spec.m
+        n_cap = _round_up(spec.n, d) if spec.n >= d else spec.n
+        k_cap = _round_up(spec.k, d) if spec.k >= d else spec.k
+
+        best: Optional[Tuple[float, float, Blocking]] = None
+        m_candidates = [c for c in self._CANDIDATES if c <= m_cap] or [m_cap]
+        n_candidates = [c for c in self._CANDIDATES if c <= n_cap] or [n_cap]
+        k_options = sorted({c for c in self._CANDIDATES if c <= k_cap} | {k_cap})
+        for mb in m_candidates:
+            for nb in n_candidates:
+                # Accumulator constraint (double buffered).
+                if mb * nb * acc_eb * 2 > acc_budget:
+                    continue
+                # Scratchpad constraint: double-buffered input + weight blocks.
+                kb_max = budget // (2 * ib * (mb + nb))
+                k_candidates = [c for c in k_options if c <= kb_max]
+                if not k_candidates and k_cap < d and kb_max >= k_cap:
+                    k_candidates = [k_cap]
+                for kb in k_candidates:
+                    blocking = Blocking(
+                        mb=mb, kb=kb, nb=nb,
+                        pack=self._choose_pack(spec, Blocking(mb, kb, nb)),
+                    )
+                    traffic = self._traffic(spec, blocking)
+                    # Minimize the modelled pipeline time (the same per-
+                    # iteration max(load, compute, store) the core charges),
+                    # with raw traffic as tiebreak (energy/contention).
+                    est_time = self._estimate_layer_time(spec, blocking)
+                    key = (est_time, traffic)
+                    if best is None or key < best[:2]:
+                        best = (est_time, traffic, blocking)
+        if best is None:
+            # Fall back to the smallest legal tile.
+            fallback = Blocking(
+                mb=min(m_cap, d), kb=min(k_cap, d), nb=min(n_cap, d)
+            )
+            return Blocking(
+                mb=fallback.mb,
+                kb=fallback.kb,
+                nb=fallback.nb,
+                pack=self._choose_pack(spec, fallback),
+            )
+        return best[2]
+
+    def _choose_pack(self, spec: GemmSpec, blocking: Blocking) -> int:
+        if spec.repeat == 1:
+            return 1
+        per_group_in = blocking.mb * blocking.kb * self.config.input_bytes
+        pack = max(1, self._PACK_TARGET_BYTES // max(per_group_in, 1))
+        return min(spec.repeat, pack)
+
+    def _traffic(self, spec: GemmSpec, b: Blocking) -> float:
+        n_passes = _ceil_div(spec.n, b.nb)
+        m_passes = _ceil_div(spec.m, b.mb)
+        per_repeat = (
+            spec.input_bytes_per_pass * self.config.input_bytes * n_passes
+            + spec.weight_bytes * self.config.input_bytes * m_passes
+            + spec.output_bytes * self.config.output_bytes
+        )
+        return float(per_repeat * spec.repeat)
+
+    def _aggregate_gemm(self, spec: GemmSpec, b: Blocking) -> dict:
+        """Exact schedule aggregates in closed form (no factory fold).
+
+        All per-iteration quantities factor over the (m, k, n) block-size
+        lists (each dimension has full blocks plus at most one edge block),
+        so the sums separate into per-dimension sums.  These equal what
+        iterating the factory would accumulate; a unit test asserts that.
+        """
+        cfg = self.config
+        d = cfg.array_dim
+        ib, ob = cfg.input_bytes, cfg.output_bytes
+        # Bytes of raw input fetched per M-row per full-K pass: the spec
+        # counts elements, the stride is in bytes.
+        row_eff = max(ib, (spec.input_bytes_per_pass // max(spec.m, 1)) * ib)
+
+        def sizes(total: int, block: int) -> List[int]:
+            out = [block] * (total // block)
+            if total % block:
+                out.append(total % block)
+            return out or [total]
+
+        m_sizes = sizes(spec.m, b.mb)
+        k_sizes = sizes(spec.k, b.kb)
+        n_sizes = sizes(spec.n, b.nb)
+        halo_cap = (
+            _ceil_div(spec.input_halo_bytes * ib, row_eff)
+            if spec.input_halo_bytes
+            else 0
+        )
+        # First m block has no halo (nothing precedes it).
+        m_eff = [
+            bm + (min(bm // 2, halo_cap) if i > 0 else 0)
+            for i, bm in enumerate(m_sizes)
+        ]
+
+        nM, nK, nN = len(m_sizes), len(k_sizes), len(n_sizes)
+        iters_inner = nM * nK * nN
+        gs = _ceil_div(spec.repeat, b.pack)
+
+        sum_me = sum(m_eff)
+        sum_m = sum(m_sizes)
+        sum_n = sum(n_sizes)
+        sum_k = sum(k_sizes)
+        sum_rowb = sum(max(ib, row_eff * bk // max(spec.k, 1)) for bk in k_sizes)
+        sum_wtk = sum(_ceil_div(bk, d) for bk in k_sizes)
+        sum_wtn = sum(_ceil_div(bn, d) for bn in n_sizes)
+        sum_sub_m = sum(_ceil_div(me, d) for me in m_eff)
+        sum_sub_m_plain = sum(_ceil_div(bm, d) for bm in m_sizes)
+        sum_sub_k = sum(_ceil_div(bk, d) for bk in k_sizes)
+
+        rep = spec.repeat
+        load_bytes = float(nN * sum_me * sum_rowb * rep + nM * sum_k * sum_n * ib * rep)
+        store_bytes = float(sum_m * sum_n * ob * rep)
+        preload = cfg.weight_preload_cycles
+        compute = float(
+            rep
+            * (
+                sum_wtk * sum_wtn * (nM * preload + sum_m)
+                + iters_inner * d
+            )
+        )
+        macs = spec.m * spec.k * spec.n * rep
+        n_load_req = (nN * sum_sub_m * nK + nM * nN * sum_sub_k) * gs
+        n_store_req = nN * sum_sub_m_plain * gs
+        return {
+            "iters": iters_inner * gs,
+            "blocks": nM * nN * gs,
+            "load_bytes": load_bytes,
+            "store_bytes": store_bytes,
+            "compute": compute,
+            "macs": macs,
+            "n_load_req": n_load_req,
+            "n_store_req": n_store_req,
+        }
+
+    def _estimate_layer_time(self, spec: GemmSpec, b: Blocking) -> float:
+        """The analytic layer time the core will charge for this blocking."""
+        agg = self._aggregate_gemm(spec, b)
+        bw = self.config.dram_bytes_per_cycle
+        iters = agg["iters"]
+        blocks = max(agg["blocks"], 1)
+        issue = 4.0
+        load = (agg["n_load_req"] / iters) * issue + agg["load_bytes"] / iters / bw
+        store_block = (
+            (agg["n_store_req"] / blocks) * issue
+            + agg["store_bytes"] / blocks / bw
+        )
+        compute = agg["compute"] / iters
+        slot = max(load, compute)
+        slot_store = max(load, compute, store_block)
+        return (iters - blocks) * slot + blocks * slot_store + load + store_block
+
+    # ------------------------------------------------------------------
+    # GEMM layer emission
+    # ------------------------------------------------------------------
+    def _compile_gemm(
+        self,
+        spec: GemmSpec,
+        index: int,
+        blocking: Blocking,
+        layout: _Layout,
+        weight_offset: int,
+        act_in: AddressRange,
+        act_out: AddressRange,
+        world: World,
+    ) -> LayerSchedule:
+        cfg = self.config
+        mb, kb, nb, pack = blocking.mb, blocking.kb, blocking.nb, blocking.pack
+
+        # Effective row length of the streamed A-operand (im2col-aware).
+        row_eff = max(
+            cfg.input_bytes,
+            (spec.input_bytes_per_pass // max(spec.m, 1)) * cfg.input_bytes,
+        )
+        w_base = (
+            act_in.base + spec.input_bytes_per_pass * cfg.input_bytes * spec.repeat
+            if spec.b_is_activation
+            else layout.weights.base + weight_offset
+        )
+
+        n_steps = _ceil_div(spec.n, nb)
+        m_steps = _ceil_div(spec.m, mb)
+        k_steps = _ceil_div(spec.k, kb)
+
+        def iterations() -> Iterator[TileIteration]:
+            per_group_in = spec.input_bytes_per_pass * cfg.input_bytes
+            per_group_w = (
+                spec.weight_bytes * cfg.input_bytes
+                if spec.b_is_activation
+                else k_steps * n_steps * kb * nb * cfg.input_bytes
+            )
+            per_group_out = spec.output_bytes * cfg.output_bytes
+            for g0 in range(0, spec.repeat, pack):
+                gp = min(pack, spec.repeat - g0)
+                in_base_g = act_in.base + g0 * per_group_in
+                w_base_g = w_base + g0 * per_group_w
+                out_base_g = act_out.base + g0 * per_group_out
+                for ni in range(n_steps):
+                    n0 = ni * nb
+                    bn = min(nb, spec.n - n0)
+                    for mi in range(m_steps):
+                        m0 = mi * mb
+                        bm = min(mb, spec.m - m0)
+                        for ki in range(k_steps):
+                            k0 = ki * kb
+                            bk = min(kb, spec.k - k0)
+                            yield self._gemm_iteration(
+                                spec, index, world, blocking,
+                                in_base_g, w_base_g, out_base_g,
+                                row_eff, gp,
+                                ni, n0, bn, m0, bm, ki, k0, bk,
+                                n_steps,
+                                last_k=(ki == k_steps - 1),
+                            )
+
+        # Analytic summary by folding the factory once (guarantees the two
+        # timing paths describe the same schedule).
+        n_iter = 0
+        n_blocks = 0
+        load_bytes = 0.0
+        store_bytes = 0.0
+        compute_cycles = 0.0
+        macs = 0
+        n_load_req = 0
+        n_store_req = 0
+        for it in iterations():
+            n_iter += 1
+            n_blocks += 1 if it.end_of_block else 0
+            load_bytes += it.load_bytes
+            store_bytes += it.store_bytes
+            compute_cycles += it.compute_cycles
+            macs += it.macs
+            n_load_req += sum(t.request.sub_requests for t in it.loads)
+            n_store_req += sum(t.request.sub_requests for t in it.stores)
+
+        spad_lines_used = min(
+            cfg.spad_lines,
+            2 * (mb * kb + kb * nb) * cfg.input_bytes // cfg.spad_line_bytes,
+        )
+        return LayerSchedule(
+            name=spec.name,
+            index=index,
+            kind="gemm",
+            n_iterations=max(n_iter, 1),
+            n_blocks=max(n_blocks, 1),
+            load_bytes=load_bytes,
+            store_bytes=store_bytes,
+            compute_cycles=compute_cycles,
+            macs=macs,
+            spad_lines_used=max(spad_lines_used, 1),
+            n_load_requests=n_load_req,
+            n_store_requests=n_store_req,
+            iteration_factory=iterations,
+            gemm_meta={
+                "m": spec.m,
+                "k": spec.k,
+                "n": spec.n,
+                "repeat": spec.repeat,
+                "mb": mb,
+                "kb": kb,
+                "nb": nb,
+                "pack": pack,
+                "w_base": w_base,
+                "in_base": act_in.base,
+                "out_base": act_out.base,
+                "row_eff": row_eff,
+            },
+        )
+
+    def _gemm_iteration(
+        self,
+        spec: GemmSpec,
+        index: int,
+        world: World,
+        blocking: Blocking,
+        in_base: int,
+        w_base: int,
+        out_base: int,
+        row_eff: int,
+        gp: int,
+        ni: int,
+        n0: int,
+        bn: int,
+        m0: int,
+        bm: int,
+        ki: int,
+        k0: int,
+        bk: int,
+        n_steps: int,
+        last_k: bool,
+    ) -> TileIteration:
+        cfg = self.config
+        ib, ob = cfg.input_bytes, cfg.output_bytes
+        d = cfg.array_dim
+
+        # A-operand block: bm rows of the (im2col-effective) input matrix.
+        # Convolutions re-touch a receptive-field halo of the previous
+        # M-block (kernel > stride): extend the block backwards by the halo
+        # rows, which is real refetch traffic and the short-distance page
+        # reuse the IOTLB sees.
+        in_row_bytes = max(ib, row_eff * bk // max(spec.k, 1)) * gp
+        halo_rows = 0
+        if spec.input_halo_bytes and m0 > 0:
+            halo_rows = min(
+                bm // 2, _ceil_div(spec.input_halo_bytes * ib, row_eff)
+            )
+        in_req = DmaRequest(
+            vaddr=in_base + (m0 - halo_rows) * row_eff
+            + (k0 * row_eff // max(spec.k, 1)),
+            size=(bm + halo_rows) * in_row_bytes,
+            is_write=False,
+            world=world,
+            stream="input",
+            rows=bm + halo_rows,
+            row_bytes=in_row_bytes,
+            row_stride=row_eff * gp if gp > 1 else row_eff,
+            sub_requests=_ceil_div(bm + halo_rows, d),
+        )
+
+        # B operand.  Static weights are stored pre-tiled: each (k, n)
+        # block occupies one contiguous slot.  An activation B operand
+        # (attention) is produced at run time and stays row-major/strided.
+        if spec.b_is_activation:
+            w_req = DmaRequest(
+                vaddr=w_base + (k0 * spec.n + n0) * ib,
+                size=bk * bn * ib * gp,
+                is_write=False,
+                world=world,
+                stream="weight",
+                rows=bk,
+                row_bytes=bn * ib * gp,
+                row_stride=spec.n * ib,
+                sub_requests=_ceil_div(bk, d),
+            )
+        else:
+            slot = blocking.kb * blocking.nb * ib
+            w_req = DmaRequest(
+                vaddr=w_base + (ki * n_steps + ni) * slot,
+                size=bk * bn * ib * gp,
+                is_write=False,
+                world=world,
+                stream="weight",
+                sub_requests=_ceil_div(bk, d),
+            )
+
+        loads = [
+            SpadTransfer(request=in_req, lines=_ceil_div(in_req.size, cfg.spad_line_bytes)),
+            SpadTransfer(request=w_req, lines=_ceil_div(w_req.size, cfg.spad_line_bytes)),
+        ]
+        stores: List[SpadTransfer] = []
+        if last_k:
+            out_req = DmaRequest(
+                vaddr=out_base + (m0 * spec.n + n0) * ob,
+                size=bm * bn * ob * gp,
+                is_write=True,
+                world=world,
+                stream="output",
+                rows=bm,
+                row_bytes=bn * ob * gp,
+                row_stride=spec.n * ob,
+                sub_requests=_ceil_div(bm, d),
+            )
+            stores.append(
+                SpadTransfer(
+                    request=out_req,
+                    lines=_ceil_div(out_req.size, cfg.acc_line_bytes),
+                    to_accumulator=True,
+                )
+            )
+
+        compute = self._systolic.gemm_block_cycles(bm, bk, bn) * gp
+        macs = self._systolic.gemm_block_macs(bm, bk, bn) * gp
+        return TileIteration(
+            loads=loads,
+            stores=stores,
+            compute_cycles=compute,
+            macs=macs,
+            end_of_block=last_k,
+            layer_index=index,
+            gemm_coords=(0, gp, m0, bm, k0, bk, n0, bn),
+        )
+
+    # ------------------------------------------------------------------
+    # Vector layer emission
+    # ------------------------------------------------------------------
+    def _compile_vector(
+        self,
+        spec: VectorSpec,
+        index: int,
+        budget: int,
+        act_in: AddressRange,
+        act_out: AddressRange,
+        world: World,
+    ) -> LayerSchedule:
+        cfg = self.config
+        in_total = spec.in_bytes * cfg.input_bytes
+        out_total = spec.out_bytes * cfg.output_bytes
+        chunk = max(cfg.spad_line_bytes, min(budget // 4, 64 * 1024))
+        n_iter = _ceil_div(in_total, chunk)
+        out_chunk = _ceil_div(out_total, n_iter)
+        elems_chunk = _ceil_div(spec.elements, n_iter)
+        d = cfg.array_dim
+
+        def iterations() -> Iterator[TileIteration]:
+            for i in range(n_iter):
+                in_off = i * chunk
+                in_sz = min(chunk, in_total - in_off)
+                out_off = i * out_chunk
+                out_sz = max(1, min(out_chunk, out_total - out_off))
+                in_req = DmaRequest(
+                    vaddr=act_in.base + in_off,
+                    size=max(in_sz, 1),
+                    is_write=False,
+                    world=world,
+                    stream="input",
+                    sub_requests=_ceil_div(max(in_sz, 1), d * cfg.spad_line_bytes),
+                )
+                out_req = DmaRequest(
+                    vaddr=act_out.base + out_off,
+                    size=out_sz,
+                    is_write=True,
+                    world=world,
+                    stream="output",
+                    sub_requests=_ceil_div(out_sz, d * cfg.spad_line_bytes),
+                )
+                yield TileIteration(
+                    loads=[
+                        SpadTransfer(
+                            request=in_req,
+                            lines=_ceil_div(in_req.size, cfg.spad_line_bytes),
+                        )
+                    ],
+                    stores=[
+                        SpadTransfer(
+                            request=out_req,
+                            lines=_ceil_div(out_req.size, cfg.spad_line_bytes),
+                        )
+                    ],
+                    compute_cycles=self._systolic.vector_cycles(
+                        elems_chunk * spec.ops_per_element
+                    ),
+                    macs=0,
+                    end_of_block=True,
+                    layer_index=index,
+                )
+
+        return LayerSchedule(
+            name=spec.name,
+            index=index,
+            kind="vector",
+            n_iterations=n_iter,
+            n_blocks=n_iter,
+            load_bytes=float(in_total),
+            store_bytes=float(out_total),
+            compute_cycles=self._systolic.vector_cycles(
+                spec.elements * spec.ops_per_element
+            ),
+            macs=0,
+            spad_lines_used=max(1, chunk // cfg.spad_line_bytes),
+            n_load_requests=max(1, _ceil_div(in_total, d * cfg.spad_line_bytes)),
+            n_store_requests=max(1, _ceil_div(out_total, d * cfg.spad_line_bytes)),
+            iteration_factory=iterations,
+        )

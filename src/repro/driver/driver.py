@@ -1,0 +1,137 @@
+"""The untrusted NPU driver.
+
+The driver lives in the normal world (§III-B: "We do not place trust in
+hardware and software components in the normal world like the NPU driver,
+scheduler and ML framework").  It
+
+* allocates physical chunks for a task's virtual buffers from the
+  NPU-reserved heap (the ION/CMA-style allocator),
+* programs the translation machinery for **non-secure** tasks: IO page
+  tables for the IOMMU baseline, translation registers for the Guarder,
+* never touches checking registers, core ID states or secure memory —
+  those are the Monitor's job, and the hardware rejects the attempts
+  (which the attack tests exercise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import AddressRange, Permission, World
+from repro.errors import AllocationError, ConfigError
+from repro.memory.allocator import Chunk, ChunkAllocator
+from repro.memory.pagetable import PageTable
+from repro.memory.regions import MemoryMap
+from repro.mmu.base import AccessController
+from repro.mmu.guarder import NPUGuarder
+from repro.mmu.iommu import IOMMU
+from repro.npu.isa import NPUProgram
+
+#: Guarder translation registers reserved for the normal world; the upper
+#: half belongs to the Monitor's context setter (secure tasks).
+NORMAL_XLAT_REGS = range(0, 8)
+SECURE_XLAT_REGS = range(8, 16)
+
+
+@dataclass
+class TaskBinding:
+    """A program bound to physical chunks (and translation state)."""
+
+    program: NPUProgram
+    chunks: Dict[str, Chunk] = field(default_factory=dict)
+    xlat_registers: List[int] = field(default_factory=list)
+
+    def phys_of(self, name: str) -> Chunk:
+        if name not in self.chunks:
+            raise ConfigError(f"no bound chunk named {name!r}")
+        return self.chunks[name]
+
+
+class NPUDriver:
+    """Normal-world driver managing non-secure task bindings."""
+
+    def __init__(
+        self,
+        memmap: MemoryMap,
+        heap: ChunkAllocator,
+        controller: AccessController,
+        page_table: Optional[PageTable] = None,
+    ):
+        self.memmap = memmap
+        self.heap = heap
+        self.controller = controller
+        self.page_table = page_table
+        self._bindings: List[TaskBinding] = []
+
+    # ------------------------------------------------------------------
+    def bind(self, program: NPUProgram) -> TaskBinding:
+        """Allocate physical chunks and program translations for a task."""
+        if program.world is World.SECURE:
+            raise ConfigError(
+                "secure tasks are bound by the NPU Monitor's trusted "
+                "allocator, not the untrusted driver"
+            )
+        binding = TaskBinding(program=program)
+        try:
+            for name, vrange in program.chunks.items():
+                chunk = self.heap.alloc(vrange.size, tag=f"{program.task_name}:{name}")
+                binding.chunks[name] = chunk
+            self._program_translations(binding)
+        except AllocationError:
+            # Roll back: a failed bind must not leak chunks or registers.
+            self.release(binding)
+            raise
+        self._bindings.append(binding)
+        return binding
+
+    def release(self, binding: TaskBinding) -> None:
+        for chunk in binding.chunks.values():
+            self.heap.free(chunk)
+        if isinstance(self.controller, NPUGuarder):
+            for reg in binding.xlat_registers:
+                self.controller.clear_translation_register(reg)
+        elif self.page_table is not None:
+            for name, chunk in binding.chunks.items():
+                vrange = binding.program.chunks[name]
+                self.page_table.unmap_range(vrange.base, vrange.size)
+        binding.chunks.clear()
+        if binding in self._bindings:
+            self._bindings.remove(binding)
+
+    # ------------------------------------------------------------------
+    def _program_translations(self, binding: TaskBinding) -> None:
+        program = binding.program
+        if isinstance(self.controller, NPUGuarder):
+            regs = [
+                r
+                for r in NORMAL_XLAT_REGS
+                if self.controller.translation[r] is None
+            ]
+            if len(regs) < len(program.chunks):
+                raise AllocationError(
+                    f"task {program.task_name!r} needs {len(program.chunks)} "
+                    f"translation registers, {len(regs)} free"
+                )
+            for reg, (name, vrange) in zip(regs, program.chunks.items()):
+                chunk = binding.chunks[name]
+                self.controller.set_translation_register(
+                    reg, vbase=vrange.base, pbase=chunk.base, size=vrange.size
+                )
+                binding.xlat_registers.append(reg)
+        elif self.page_table is not None:
+            for name, vrange in program.chunks.items():
+                chunk = binding.chunks[name]
+                self.page_table.map_range(
+                    vrange.base,
+                    chunk.base,
+                    vrange.size,
+                    perm=Permission.RW,
+                    world=World.NORMAL,
+                )
+        # NoProtection needs no translation state: the compiler's virtual
+        # addresses are used as-is, so rebase the binding onto identity.
+
+    @property
+    def bindings(self) -> List[TaskBinding]:
+        return list(self._bindings)

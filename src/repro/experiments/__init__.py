@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Every module exposes ``run(profile=...) -> ExperimentResult`` (or a small
+number of them) and can be executed directly::
+
+    python -m repro.experiments.fig13
+
+The benchmark suite (``benchmarks/``) drives the same entry points and
+asserts the paper's qualitative shapes.
+"""
+
+from repro.experiments.runner import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,50 @@
+"""Run every experiment and print every table/figure.
+
+Usage::
+
+    python -m repro.experiments.all [profile]
+
+``profile`` is ``eval`` (default, reduced resolution) or ``paper``
+(full input shapes; several times slower).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import fig01, fig13, fig14, fig15, fig16, fig17, fig18
+from repro.experiments import sensitivity, table1, tcb
+
+
+def run_all(profile: str = "eval") -> None:
+    started = time.time()
+    print(fig01.run(profile))
+    print()
+    perf, reqs = fig13.run(profile)
+    print(perf)
+    print()
+    print(reqs)
+    print()
+    print(fig13.run_energy(profile))
+    print()
+    print(fig14.run(profile))
+    print()
+    print(fig15.run(profile))
+    print()
+    print(fig16.run())
+    print()
+    print(fig17.run(profile))
+    print()
+    print(fig18.run())
+    print()
+    print(table1.run(profile))
+    print()
+    print(tcb.run())
+    print()
+    print(sensitivity.run(profile))
+    print(f"\n(all experiments in {time.time() - started:.1f}s, profile={profile})")
+
+
+if __name__ == "__main__":
+    run_all(sys.argv[1] if len(sys.argv) > 1 else "eval")

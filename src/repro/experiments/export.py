@@ -1,0 +1,47 @@
+"""Export experiment results to JSON / CSV for plotting pipelines."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from repro.experiments.runner import ExperimentResult
+
+
+def to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A plain-JSON-serializable view of one experiment."""
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    return json.dumps(to_dict(result), indent=indent, default=str)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """CSV with one header row; non-scalar cells are stringified."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=result.columns)
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({c: row[c] for c in result.columns})
+    return buffer.getvalue()
+
+
+def write(result: ExperimentResult, path: str) -> None:
+    """Write to *path*; the extension picks the format (.json / .csv)."""
+    if path.endswith(".json"):
+        payload = to_json(result)
+    elif path.endswith(".csv"):
+        payload = to_csv(result)
+    else:
+        payload = result.format() + "\n"
+    with open(path, "w") as fh:
+        fh.write(payload)

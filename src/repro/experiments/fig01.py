@@ -1,0 +1,46 @@
+"""Fig. 1 — overall FLOPS utilization of different inference workloads.
+
+Paper claim: "Most ML workloads utilize less than 50% of the computational
+resource available in the TPU core", motivating multitasking.
+
+We report utilization on the Table II Gemmini tile and on a TPU-like
+scale-up; the scale-up shows the figure's regime (the larger the NPU, the
+lower single-task utilization falls).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.utilization import tpu_like_config, utilization_report
+from repro.experiments.runner import ExperimentResult
+from repro.npu.config import NPUConfig
+from repro.workloads import zoo
+
+
+def run(profile: str = "eval") -> ExperimentResult:
+    models = zoo.paper_models(profile)
+    result = ExperimentResult(
+        exp_id="fig01",
+        title="FLOPS utilization of single inference workloads",
+        columns=["workload", "util_gemmini", "util_tpu_like"],
+    )
+    gemmini = {r.workload: r for r in utilization_report(models)}
+    tpu = {
+        r.workload: r
+        for r in utilization_report(models, config=tpu_like_config())
+    }
+    for model in models:
+        result.add_row(
+            workload=model.name,
+            util_gemmini=gemmini[model.name].utilization,
+            util_tpu_like=tpu[model.name].utilization,
+        )
+    below_50 = sum(1 for r in result.rows if r["util_tpu_like"] < 0.5)
+    result.notes.append(
+        f"{below_50}/{len(result.rows)} workloads below 50% utilization on "
+        f"the TPU-like configuration (paper: most workloads < 50%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

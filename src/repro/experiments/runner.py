@@ -1,0 +1,68 @@
+"""Shared experiment plumbing: result container and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows of named columns plus notes."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ConfigError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise ConfigError(f"no column {name!r} in {self.exp_id}")
+        return [row[name] for row in self.rows]
+
+    def row_for(self, key_column: str, key: Any) -> Dict[str, Any]:
+        for row in self.rows:
+            if row[key_column] == key:
+                return row
+        raise ConfigError(f"no row with {key_column}={key!r} in {self.exp_id}")
+
+    def format(self) -> str:
+        return format_table(self)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = [result.columns]
+    body = [[_fmt(row[c]) for c in result.columns] for row in result.rows]
+    widths = [
+        max(len(line[i]) for line in header + body)
+        for i in range(len(result.columns))
+    ]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Scratchpad-size sensitivity curves — the mechanism behind Fig. 15.
+
+"Diverse workloads exhibit varying behaviors upon the size of scratchpads
+...  Yololite and mobilenet demonstrate insensitivity to the scratchpad
+size, due to their well-orchestrated compute and memory interleave
+pipeline.  However, the performance of alexnet and bert fluctuate
+violently according to the different sizes of scratchpad" (§VI-C).
+
+This experiment sweeps each workload's scratchpad budget under bandwidth
+contention (the co-run regime of Fig. 15) and reports the slowdown curve —
+the quantity the driver's allocation policy needs, and the reason a single
+static partition cannot fit every pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.experiments.runner import ExperimentResult
+from repro.npu.config import NPUConfig
+from repro.workloads import zoo
+
+DEFAULT_FRACTIONS = (1.0, 0.75, 0.5, 0.25, 0.125)
+
+
+def run(
+    profile: str = "eval",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    config: Optional[NPUConfig] = None,
+) -> ExperimentResult:
+    """Per-model slowdown vs scratchpad fraction at half DRAM bandwidth."""
+    config = config or NPUConfig.paper_default()
+    scheduler = MultiTaskScheduler(config)
+    result = ExperimentResult(
+        exp_id="sensitivity",
+        title="Slowdown vs scratchpad fraction (at half DRAM bandwidth, "
+        "normalized to the full scratchpad)",
+        columns=["workload"] + [f"spad-{f:g}" for f in fractions]
+        + ["swing"],
+    )
+    for model in zoo.paper_models(profile):
+        base = scheduler.run(
+            model, budget=config.spad_bytes, share=0.5
+        ).cycles
+        row = {"workload": model.name}
+        values = []
+        for fraction in fractions:
+            budget = max(
+                4 * config.array_dim * config.array_dim,
+                int(config.spad_bytes * fraction),
+            )
+            cycles = scheduler.run(model, budget=budget, share=0.5).cycles
+            norm = cycles / base
+            row[f"spad-{fraction:g}"] = norm
+            values.append(norm)
+        row["swing"] = max(values) - min(values)
+        result.rows.append(row)
+    swings = {r["workload"]: r["swing"] for r in result.rows}
+    result.notes.append(
+        "sensitive (paper: alexnet/bert-style) vs insensitive (yololite/"
+        "mobilenet-style) spread: "
+        + ", ".join(f"{k}={v:.2f}" for k, v in swings.items())
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

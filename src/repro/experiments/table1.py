@@ -1,0 +1,126 @@
+"""Table I — comparison of scratchpad isolation mechanisms.
+
+The paper's table is qualitative:
+
+| mechanism              | temporal | spatial | utilization | perf | SLA  |
+| partition              | yes      | yes     | low         | low  | good |
+| flush (coarse-grained) | yes      | no      | low         | good | poor |
+| flush (fine-grained)   | yes      | no      | low         | low  | good |
+| sNPU                   | yes      | yes     | high        | good | good |
+
+We regenerate the verdicts from *measured* quantities:
+
+* **performance** — mean normalized performance of the six workloads
+  under the mechanism (flush granularities from Fig. 14's machinery,
+  partition/dynamic from Fig. 15's),
+* **SLA** — worst-case preemption latency (cycles a high-priority task
+  may wait before it can start),
+* **utilization** — the scratchpad fraction a task may use when it is the
+  only one that needs capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.experiments.runner import ExperimentResult
+from repro.npu.config import NPUConfig
+from repro.workloads import zoo
+
+#: Verdict thresholds (documented, not tuned per row).
+#: A mechanism's "performance" is its overhead relative to the zero-cost
+#: oracle of the same sharing scenario; <= 2% overhead counts as Good.
+PERF_GOOD_OVERHEAD = 1.02
+#: SLA: a pending high-priority task must be able to start within 1 ms at
+#: 1 GHz (spatial mechanisms admit it immediately: zero wait).
+SLA_GOOD_CYCLES = 1_000_000.0
+UTIL_HIGH = 0.95
+
+
+def _verdict(value: bool, good: str = "Good", bad: str = "Low") -> str:
+    return good if value else bad
+
+
+def run(
+    profile: str = "eval", config: Optional[NPUConfig] = None
+) -> ExperimentResult:
+    config = config or NPUConfig.paper_default()
+    scheduler = MultiTaskScheduler(config)
+    models = zoo.paper_models(profile)
+
+    def mean_flush_perf(granularity: str) -> float:
+        return sum(
+            scheduler.flush_slowdown(m, granularity) for m in models
+        ) / len(models)
+
+    # Worst-case preemption latency across workloads (SLA view).
+    def worst_quantum(mechanism: str) -> float:
+        return max(
+            scheduler.preemption_stats(m, mechanism).worst_wait_cycles
+            for m in models
+        )
+
+    # Spatial mechanisms: overhead of a statically chosen partition (the
+    # vendor fixes the split without knowing the workload mix; average
+    # over the three splits) relative to sNPU's dynamic total-best oracle.
+    pairs = [(models[0], models[2]), (models[1], models[3]), (models[4], models[5])]
+    static_overheads = []
+    for a, b in pairs:
+        statics = [
+            scheduler.spatial_pair(a, b, "partition", s).total_norm
+            for s in (0.75, 0.5, 0.25)
+        ]
+        dynamic = scheduler.spatial_pair(a, b, "dynamic").total_norm
+        static_overheads.append((sum(statics) / len(statics)) / dynamic)
+    partition_overhead = sum(static_overheads) / len(static_overheads)
+
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Isolation mechanisms for the scratchpad",
+        columns=[
+            "mechanism", "temporal", "spatial", "utilization",
+            "performance", "sla", "overhead", "worst_wait_cycles",
+        ],
+    )
+    # Temporal mechanisms: overhead = slowdown vs the unflushed run.
+    flush_coarse_ovh = 1.0 / mean_flush_perf("layer5")
+    flush_fine_ovh = 1.0 / mean_flush_perf("tile")
+    rows = [
+        # mechanism, temporal, spatial, usable spad fraction, overhead, wait
+        ("partition", "Yes", "Yes", 0.5, partition_overhead,
+         worst_quantum("partition")),
+        ("flush (coarse-grained)", "Yes", "No", 1.0, flush_coarse_ovh,
+         worst_quantum("layer5")),
+        ("flush (fine-grained)", "Yes", "No", 1.0, flush_fine_ovh,
+         worst_quantum("tile")),
+        ("sNPU", "Yes", "Yes", 1.0, 1.0, worst_quantum("snpu")),
+    ]
+    for name, temporal, spatial, util, overhead, wait in rows:
+        # Partition strands capacity behind a fixed boundary; flushing
+        # forbids spatial sharing entirely (one task owns the scratchpad).
+        utilization = (
+            "High" if (util >= UTIL_HIGH and spatial == "Yes") else "Low"
+        )
+        result.add_row(
+            mechanism=name,
+            temporal=temporal,
+            spatial=spatial,
+            utilization=utilization,
+            performance=_verdict(
+                overhead <= PERF_GOOD_OVERHEAD, "Good", "Low"
+            ),
+            sla=_verdict(wait <= SLA_GOOD_CYCLES, "Good", "Poor"),
+            overhead=overhead,
+            worst_wait_cycles=wait,
+        )
+    result.notes.append(
+        "overhead is relative to the zero-cost oracle of the same sharing "
+        "scenario; wait is the worst-case start delay of a high-priority "
+        "task (spatial mechanisms admit immediately)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,18 @@
+"""System memory substrate: physical map, DRAM model, page tables, allocators."""
+
+from repro.memory.regions import Region, MemoryMap
+from repro.memory.dram import DRAMModel
+from repro.memory.pagetable import PageTableEntry, PageTable
+from repro.memory.allocator import Chunk, ChunkAllocator
+from repro.memory.encryption import MemoryEncryptionEngine
+
+__all__ = [
+    "Region",
+    "MemoryMap",
+    "DRAMModel",
+    "PageTableEntry",
+    "PageTable",
+    "Chunk",
+    "ChunkAllocator",
+    "MemoryEncryptionEngine",
+]

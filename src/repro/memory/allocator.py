@@ -1,0 +1,129 @@
+"""Contiguous chunk allocator for NPU-reserved and secure memory.
+
+The NPU driver "needs to allocate several chunks in the NPU-reserved
+memory, and the NPU will further partition each chunk into several tiles"
+(§IV-A).  Android's ION heap, NVIDIA's NVMA and Qualcomm's PMEM are the
+production equivalents; this is a first-fit free-list allocator over one
+contiguous physical range, which is exactly what CMA-backed heaps give.
+
+The same allocator, instantiated over the secure region, is the substrate of
+the NPU Monitor's *trusted allocator*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.types import AddressRange, align_up
+from repro.errors import AllocationError, ConfigError
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One allocated contiguous physical block."""
+
+    base: int
+    size: int
+    tag: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def range(self) -> AddressRange:
+        return AddressRange(self.base, self.size)
+
+
+class ChunkAllocator:
+    """First-fit free-list allocator over a contiguous physical range."""
+
+    def __init__(self, range_: AddressRange, alignment: int = 64):
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ConfigError(f"alignment must be a power of two, got {alignment}")
+        self.range = range_
+        self.alignment = alignment
+        # Sorted list of free (base, size) holes.
+        self._free: List[List[int]] = [[range_.base, range_.size]]
+        self._allocated: List[Chunk] = []
+
+    def alloc(self, size: int, tag: str = "", alignment: Optional[int] = None) -> Chunk:
+        """Allocate *size* bytes; raises :class:`AllocationError` when full."""
+        if size <= 0:
+            raise AllocationError(f"cannot allocate {size} bytes")
+        alignment = alignment or self.alignment
+        size = align_up(size, alignment)
+        for hole in self._free:
+            base = align_up(hole[0], alignment)
+            waste = base - hole[0]
+            if hole[1] - waste >= size:
+                chunk = Chunk(base=base, size=size, tag=tag)
+                # Shrink / split the hole.
+                tail_base = base + size
+                tail_size = hole[0] + hole[1] - tail_base
+                if waste:
+                    hole[1] = waste
+                    if tail_size:
+                        self._free.insert(
+                            self._free.index(hole) + 1, [tail_base, tail_size]
+                        )
+                else:
+                    if tail_size:
+                        hole[0], hole[1] = tail_base, tail_size
+                    else:
+                        self._free.remove(hole)
+                self._allocated.append(chunk)
+                return chunk
+        raise AllocationError(
+            f"out of memory: {size} bytes requested, "
+            f"{self.free_bytes} free (largest hole {self.largest_hole})"
+        )
+
+    def free(self, chunk: Chunk) -> None:
+        if chunk not in self._allocated:
+            raise AllocationError(f"double free or foreign chunk: {chunk}")
+        self._allocated.remove(chunk)
+        self._free.append([chunk.base, chunk.size])
+        self._free.sort()
+        # Coalesce adjacent holes.
+        merged: List[List[int]] = []
+        for base, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1][1] += size
+            else:
+                merged.append([base, size])
+        self._free = merged
+
+    def reset(self) -> None:
+        self._free = [[self.range.base, self.range.size]]
+        self._allocated = []
+
+    def owns(self, addr: int, size: int = 1) -> bool:
+        """True when ``[addr, addr+size)`` lies inside one allocated chunk."""
+        return any(
+            c.base <= addr and addr + size <= c.end for c in self._allocated
+        )
+
+    @property
+    def allocated_chunks(self) -> List[Chunk]:
+        return list(self._allocated)
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _base, size in self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.range.size - self.free_bytes
+
+    @property
+    def largest_hole(self) -> int:
+        return max((size for _base, size in self._free), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_hole/free_bytes; 0 when free space is one hole."""
+        if self.free_bytes == 0:
+            return 0.0
+        return 1.0 - self.largest_hole / self.free_bytes

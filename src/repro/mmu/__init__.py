@@ -1,0 +1,33 @@
+"""Memory access controllers sitting in front of the NPU's DMA engine.
+
+Three mechanisms share the :class:`~repro.mmu.base.AccessController`
+interface:
+
+* :class:`~repro.mmu.base.NoProtection` — the unprotected *Normal NPU*
+  baseline,
+* :class:`~repro.mmu.iommu.IOMMU` / :class:`~repro.mmu.smmu.TrustZoneSMMU` —
+  the per-packet paging baseline used by the *TrustZone NPU*,
+* :class:`~repro.mmu.guarder.NPUGuarder` — the paper's tile-based
+  translation/checking register design (§IV-A).
+"""
+
+from repro.mmu.base import AccessController, NoProtection, TranslationOutcome
+from repro.mmu.iommu import IOMMU, IOTLB
+from repro.mmu.smmu import TrustZoneSMMU
+from repro.mmu.guarder import (
+    CheckingRegister,
+    TranslationRegister,
+    NPUGuarder,
+)
+
+__all__ = [
+    "AccessController",
+    "NoProtection",
+    "TranslationOutcome",
+    "IOMMU",
+    "IOTLB",
+    "TrustZoneSMMU",
+    "CheckingRegister",
+    "TranslationRegister",
+    "NPUGuarder",
+]

@@ -1,0 +1,98 @@
+"""The Fig. 2 taxonomy: Type-2 (MMU-based) and Type-3 (CPU-coupled) NPUs.
+
+§IV-A: "Figure 2 illustrates different types of integrated NPUs, including
+IOMMU-based NPUs, MMU-based NPUs, and CPU-coupled NPUs.  The first two
+types ... are MMIO devices, with one utilizing DMA for system memory
+access and the other employing ld/st instructions.  The third type is
+coupled with the CPU core, allowing it to access the CPU cache...  There
+is no unified memory access controller for integrated NPUs, which
+increases design complexity."
+
+Type-1 (IOMMU + integrated DMA) is :class:`repro.mmu.iommu.IOMMU`.  This
+module models the other two, so the access-path comparison experiment can
+quantify the taxonomy:
+
+* **Type-2, MMU-based** — a *system* DMA engine first stages data into an
+  NPU-visible buffer (one extra pass over the DRAM channel), then the NPU
+  reads it with ld/st through a device MMU (TLB identical in kind to the
+  IOTLB).
+* **Type-3, CPU-coupled** (e.g. Gemmini's RoCC baseline) — accesses ride
+  the CPU's translation machinery: a larger L1-style TLB and cheap walks
+  (the CPU's PTW + caches), but every NPU access occupies the CPU-side
+  port, charged as a per-request assist overhead.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DmaRequest
+from repro.errors import ConfigError
+from repro.memory.pagetable import PageTable
+from repro.mmu.base import TranslationOutcome
+from repro.mmu.iommu import IOMMU
+
+
+class Type2MMU(IOMMU):
+    """MMU-based NPU: staged system-DMA copies + device-MMU ld/st."""
+
+    #: The staging copy moves the data once more over the DRAM channel.
+    STAGING_PASSES = 1.0
+    #: Driver overhead to program the system DMA engine per request.
+    STAGING_SETUP_CYCLES = 24.0
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        mmu_tlb_entries: int = 16,
+        dram_bytes_per_cycle: float = 16.0,
+        **kwargs,
+    ):
+        super().__init__(page_table, iotlb_entries=mmu_tlb_entries, **kwargs)
+        if dram_bytes_per_cycle <= 0:
+            raise ConfigError("dram_bytes_per_cycle must be positive")
+        self.dram_bytes_per_cycle = float(dram_bytes_per_cycle)
+        self.name = f"type2-mmu-{mmu_tlb_entries}"
+        self.staged_bytes = 0.0
+
+    def handle(self, request: DmaRequest) -> TranslationOutcome:
+        outcome = super().handle(request)
+        # The staging copy serializes before the NPU's own access.
+        staging = (
+            self.STAGING_SETUP_CYCLES
+            + self.STAGING_PASSES * request.size / self.dram_bytes_per_cycle
+        )
+        self.staged_bytes += request.size
+        return TranslationOutcome(
+            runs=outcome.runs,
+            extra_cycles=outcome.extra_cycles + staging,
+        )
+
+
+class Type3CpuCoupled(IOMMU):
+    """CPU-coupled NPU: translation via the CPU's TLB/PTW.
+
+    The CPU's L1 TLB is big and its walks are cheap (cached page tables),
+    but each NPU request steals a CPU memory-port slot.
+    """
+
+    #: CPU-assisted walk: PTW hitting the cache hierarchy.
+    CPU_WALK_CYCLES = 24.0
+    #: CPU port occupancy per architectural descriptor.
+    CPU_ASSIST_CYCLES = 6.0
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        tlb_entries: int = 64,
+        **kwargs,
+    ):
+        kwargs.setdefault("walk_cycles", self.CPU_WALK_CYCLES)
+        super().__init__(page_table, iotlb_entries=tlb_entries, **kwargs)
+        self.name = f"type3-cpu-{tlb_entries}"
+
+    def handle(self, request: DmaRequest) -> TranslationOutcome:
+        outcome = super().handle(request)
+        assist = self.CPU_ASSIST_CYCLES * request.sub_requests
+        return TranslationOutcome(
+            runs=outcome.runs,
+            extra_cycles=outcome.extra_cycles + assist,
+        )

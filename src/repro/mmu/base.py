@@ -1,0 +1,87 @@
+"""Common interface of every DMA access-control mechanism.
+
+An :class:`AccessController` receives whole DMA requests from the DMA
+engine, translates their virtual addresses, performs permission/world
+checks, and reports how many extra stall cycles the mechanism added (page
+walks for the IOMMU; zero for the Guarder).  Security failures raise
+:class:`~repro.errors.AccessViolation` or
+:class:`~repro.errors.TranslationFault` — they never silently pass.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.types import CheckStats, DmaRequest, Permission, World
+
+
+@dataclass
+class TranslationOutcome:
+    """Result of pushing one DMA request through an access controller.
+
+    Attributes
+    ----------
+    runs:
+        Physical ``(paddr, size)`` runs of the request, in transfer order.
+        Functional mode copies data along these runs.
+    extra_cycles:
+        Stall cycles charged to the DMA transfer by the mechanism itself
+        (IOTLB miss page walks).  Zero for register-based checking.
+    """
+
+    runs: List[Tuple[int, int]]
+    extra_cycles: float = 0.0
+
+    @property
+    def paddr(self) -> int:
+        return self.runs[0][0] if self.runs else 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _addr, size in self.runs)
+
+
+class AccessController(abc.ABC):
+    """Translates and permission-checks DMA requests for the NPU."""
+
+    #: Short mechanism name used in reports ("iommu-8", "guarder", ...).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.stats = CheckStats()
+
+    @abc.abstractmethod
+    def handle(self, request: DmaRequest) -> TranslationOutcome:
+        """Translate + check one DMA request.
+
+        Raises
+        ------
+        TranslationFault
+            If any byte of the request is unmapped.
+        AccessViolation
+            If the request's world/permissions do not allow the access.
+        """
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def required_permission(self, request: DmaRequest) -> Permission:
+        return Permission.WRITE if request.is_write else Permission.READ
+
+
+class NoProtection(AccessController):
+    """Identity translation with no checking — the Normal NPU baseline.
+
+    Virtual addresses are treated as physical (the driver programs DMA with
+    physical addresses, as unprotected integrated NPUs do).  Every access is
+    allowed, including reads of the secure region: the attack tests rely on
+    this controller being genuinely unsafe.
+    """
+
+    name = "none"
+
+    def handle(self, request: DmaRequest) -> TranslationOutcome:
+        runs = list(request.row_ranges())
+        return TranslationOutcome(runs=runs, extra_cycles=0.0)

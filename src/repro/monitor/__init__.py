@@ -1,0 +1,42 @@
+"""NPU Monitor: the trusted software module in the secure world (§IV-C).
+
+"We adhere to the design principle of decoupling security from strategy,
+and only move a small monitor into the secure world.  This monitor is
+responsible for performing security checks, managing critical resources,
+and acting as a bridge between the secure CPU and NPU."
+
+Shim modules: context setter, trusted allocator, code verifier, secure
+loader; auxiliary components: the trampoline and the secure task queue;
+substrate: a Penglai-style secure world with PMP protection and a secure
+boot chain.
+"""
+
+from repro.monitor.tee import PMPRegion, PMPChecker, SecureBootChain, BootStage
+from repro.monitor.crypto import measure, stream_cipher
+from repro.monitor.trampoline import Trampoline, TrampolineFunc, TrampolineCall
+from repro.monitor.task_queue import SecureTask, SecureTaskQueue
+from repro.monitor.code_verifier import CodeVerifier
+from repro.monitor.trusted_allocator import TrustedAllocator
+from repro.monitor.context_setter import ContextSetter, install_platform_checking
+from repro.monitor.secure_loader import SecureLoader
+from repro.monitor.monitor import NPUMonitor
+
+__all__ = [
+    "PMPRegion",
+    "PMPChecker",
+    "SecureBootChain",
+    "BootStage",
+    "measure",
+    "stream_cipher",
+    "Trampoline",
+    "TrampolineFunc",
+    "TrampolineCall",
+    "SecureTask",
+    "SecureTaskQueue",
+    "CodeVerifier",
+    "TrustedAllocator",
+    "ContextSetter",
+    "install_platform_checking",
+    "SecureLoader",
+    "NPUMonitor",
+]

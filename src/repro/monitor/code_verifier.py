@@ -1,0 +1,55 @@
+"""Code verifier shim: measurement + model decryption (§IV-C).
+
+"Code verifier first loads the code and sensitive model of the secure task
+into the secure task queue.  It then calculates and verifies the
+measurement of the task code against the user's expectation."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MeasurementError
+from repro.monitor.crypto import measure, stream_cipher, verify_mac
+from repro.npu.isa import NPUProgram
+
+
+class CodeVerifier:
+    """Measures task code and decrypts confidential models."""
+
+    def __init__(self):
+        self.verified = 0
+        self.rejected = 0
+
+    def measure_program(self, program: NPUProgram) -> bytes:
+        return measure(program.code_blob())
+
+    def verify_program(self, program: NPUProgram, expected: bytes) -> bytes:
+        """Return the measurement; raise on mismatch with the expectation."""
+        digest = self.measure_program(program)
+        if digest != expected:
+            self.rejected += 1
+            raise MeasurementError(
+                f"task {program.task_name!r}: measurement "
+                f"{digest.hex()[:16]}... does not match the user's "
+                f"expectation {expected.hex()[:16]}..."
+            )
+        self.verified += 1
+        return digest
+
+    def decrypt_model(
+        self,
+        key: bytes,
+        ciphertext: bytes,
+        tag: Optional[bytes] = None,
+        nonce: bytes = b"",
+    ) -> bytes:
+        """Decrypt a confidential model into secure memory.
+
+        With *tag* set, the ciphertext is authenticated first — a tampered
+        model never reaches the scratchpad.
+        """
+        if tag is not None and not verify_mac(key, ciphertext, tag):
+            self.rejected += 1
+            raise MeasurementError("encrypted model failed authentication")
+        return stream_cipher(key, ciphertext, nonce=nonce)

@@ -1,0 +1,84 @@
+"""Context setter shim: programs the NPU secure context (§IV-C).
+
+"Context setter is responsible for setting the NPU secure context, which
+includes NPU's ID state, checking and translation registers for secure
+tasks.  The NPU context determines the hardware resources that the NPU can
+access, such as system memory and scratchpad."
+
+Everything here is issued with ``World.SECURE`` authority — it is the only
+software allowed to, because the Monitor runs inside the PMP-protected
+secure domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.types import Permission, World
+from repro.errors import AllocationError
+from repro.memory.allocator import Chunk
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.npu.core import NPUCore
+from repro.npu.isa import NPUProgram
+
+#: Guarder translation registers owned by the Monitor (secure tasks).
+SECURE_XLAT_REGS = range(8, 16)
+
+
+def install_platform_checking(guarder: NPUGuarder, memmap: MemoryMap) -> None:
+    """Program the checking registers from the platform memory map.
+
+    Done once at secure boot; the registers are "rarely modified" (§IV-A).
+    """
+    for index, region in enumerate(memmap.regions):
+        guarder.set_checking_register(
+            index, region.range, region.perm, region.world, issuer=World.SECURE
+        )
+
+
+class ContextSetter:
+    """Sets and tears down per-task NPU secure context."""
+
+    def __init__(self, guarder: NPUGuarder):
+        self.guarder = guarder
+        self.contexts_set = 0
+
+    def set_core_secure(self, core: NPUCore) -> None:
+        """Flip one core's ID state secure (secure instruction)."""
+        core.set_world(World.SECURE, issuer=World.SECURE)
+
+    def map_chunks(self, program: NPUProgram, chunks: Dict[str, Chunk]) -> List[int]:
+        """Map the task's secure chunks into the secure register bank.
+
+        One mapping serves every core the task is loaded on (the Guarder
+        sits in front of the complex's DMA path).  Returns the registers
+        used, for teardown.
+        """
+        free = [
+            r for r in SECURE_XLAT_REGS if self.guarder.translation[r] is None
+        ]
+        if len(free) < len(program.chunks):
+            raise AllocationError(
+                f"secure task needs {len(program.chunks)} translation "
+                f"registers, {len(free)} free in the secure bank"
+            )
+        used: List[int] = []
+        for reg, (name, vrange) in zip(free, program.chunks.items()):
+            chunk = chunks[name]
+            self.guarder.set_translation_register(
+                reg, vbase=vrange.base, pbase=chunk.base, size=vrange.size
+            )
+            used.append(reg)
+        self.contexts_set += 1
+        return used
+
+    def clear_secure_context(self, core: NPUCore, registers: List[int]) -> None:
+        """Tear down after the task: scrub secure scratchpad state and
+        downgrade the core."""
+        for reg in registers:
+            self.guarder.clear_translation_register(reg)
+        # Downgrade every secure scratchpad line (scrubbing contents).
+        core.scratchpad.reset_secure(0, core.scratchpad.lines, issuer=World.SECURE)
+        core.accumulator.reset_secure(0, core.accumulator.lines, issuer=World.SECURE)
+        core.set_world(World.NORMAL, issuer=World.SECURE)

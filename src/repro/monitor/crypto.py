@@ -1,0 +1,10 @@
+"""Cryptographic primitives used by the Monitor.
+
+The implementations live in :mod:`repro.common.crypto` (so low-level
+components like the memory encryption engine can use them without
+importing the monitor package); this module is the Monitor-facing name.
+"""
+
+from repro.common.crypto import mac, measure, stream_cipher, verify_mac
+
+__all__ = ["measure", "stream_cipher", "mac", "verify_mac"]

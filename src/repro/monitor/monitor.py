@@ -1,0 +1,262 @@
+"""The NPU Monitor facade: wires the shims into one trusted module.
+
+Lifecycle of a secure task (Fig. 10):
+
+1. the untrusted driver marshals the task through the **trampoline**
+   (function ID + arguments + shared memory),
+2. the **code verifier** measures the task code against the user's
+   expectation (and decrypts the confidential model if one is attached),
+3. the **trusted allocator** binds the task's buffers in secure memory,
+4. the task waits in the **secure task queue**,
+5. at schedule time the **secure loader** verifies route integrity and
+   the **context setter** programs the core ID state and the secure
+   translation registers,
+6. on completion the context setter scrubs secure scratchpad state and
+   downgrades the core.
+
+Non-secure tasks never enter the Monitor: "we do not apply any software
+checks and rely only on the hardware mechanisms" (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.types import Permission, World
+from repro.errors import ConfigError, PrivilegeError
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.code_verifier import CodeVerifier
+from repro.monitor.context_setter import ContextSetter, install_platform_checking
+from repro.monitor.secure_loader import SecureLoader
+from repro.monitor.task_queue import SecureTask, SecureTaskQueue
+from repro.monitor.tee import PMPChecker, PMPRegion, SecureBootChain
+from repro.monitor.trampoline import Trampoline, TrampolineCall, TrampolineFunc
+from repro.monitor.trusted_allocator import TrustedAllocator
+from repro.noc.mesh import Mesh
+from repro.npu.core import NPUCore
+from repro.npu.isa import NPUProgram
+
+
+@dataclass
+class ScheduledSecureTask:
+    """A secure task installed on cores with live secure context."""
+
+    task: SecureTask
+    core_ids: List[int]
+    xlat_registers: Dict[int, List[int]] = field(default_factory=dict)
+
+
+class NPUMonitor:
+    """The trusted software module for the NPU (runs in the secure world)."""
+
+    MONITOR_CODE = b"snpu-npu-monitor-v1"
+
+    def __init__(
+        self,
+        memmap: MemoryMap,
+        guarder: NPUGuarder,
+        cores: List[NPUCore],
+        mesh: Optional[Mesh] = None,
+        domain_bits: int = 1,
+    ):
+        if not cores:
+            raise ConfigError("the Monitor needs at least one NPU core")
+        self.memmap = memmap
+        self.guarder = guarder
+        self.cores = cores
+        self.mesh = mesh or Mesh(1, len(cores))
+        # §VII: with domain_bits > 1 the Monitor manages multiple secure
+        # domains; each concurrently queued secure task gets its own.
+        from repro.npu.domains import DomainManager
+
+        self.domains = DomainManager(domain_bits) if domain_bits > 1 else None
+
+        secure = memmap.region("secure")
+        self.verifier = CodeVerifier()
+        self.allocator = TrustedAllocator(
+            secure.range, spad_lines=cores[0].scratchpad.lines
+        )
+        self.queue = SecureTaskQueue()
+        self.context_setter = ContextSetter(guarder)
+        self.loader = SecureLoader(self.mesh)
+        self.pmp = PMPChecker([PMPRegion(secure.range, World.SECURE)])
+        self.boot_chain = SecureBootChain.standard(self.MONITOR_CODE)
+        self.trampoline = Trampoline()
+        self._register_handlers()
+        self.booted = False
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+    def boot(self) -> Dict[str, bytes]:
+        """Measured boot, then program the platform checking registers."""
+        measurements = self.boot_chain.boot()
+        install_platform_checking(self.guarder, self.memmap)
+        self.booted = True
+        return measurements
+
+    # ------------------------------------------------------------------
+    # Secure-world API (also reachable through the trampoline)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        program: NPUProgram,
+        expected_measurement: bytes,
+        encrypted_model: Optional[bytes] = None,
+        model_key: Optional[bytes] = None,
+        model_tag: Optional[bytes] = None,
+    ) -> int:
+        """Verify and enqueue a secure task; returns its task id."""
+        self._require_boot()
+        if program.world is not World.SECURE:
+            raise ConfigError("submit() only accepts secure programs")
+        measurement = self.verifier.verify_program(program, expected_measurement)
+        if encrypted_model is not None:
+            if model_key is None:
+                raise ConfigError("encrypted model without a key")
+            # Decryption lands in secure memory; the plaintext model never
+            # exists in the normal world.
+            self.verifier.decrypt_model(
+                model_key, encrypted_model, tag=model_tag
+            )
+        task_id = self.queue.new_task_id()
+        domain = self.domains.allocate(task_id) if self.domains else 0
+        try:
+            chunks = self.allocator.bind_program(program, task_id)
+        except Exception:
+            if self.domains:
+                self.domains.release(domain)
+            raise
+        task = SecureTask(
+            task_id=task_id,
+            program=program,
+            measurement=measurement,
+            chunks=chunks,
+            topology=program.topology,
+            domain=domain,
+        )
+        self.queue.enqueue(task)
+        return task_id
+
+    def schedule_next(self, core_ids: List[int]) -> ScheduledSecureTask:
+        """Pop the next secure task and install it on *core_ids*."""
+        self._require_boot()
+        task = self.queue.dequeue()
+        if task is None:
+            raise ConfigError("secure task queue is empty")
+        try:
+            self.loader.load(task, core_ids)
+        except Exception:
+            self.queue.enqueue(task)  # leave the task schedulable
+            raise
+        scheduled = ScheduledSecureTask(task=task, core_ids=list(core_ids))
+        # One chunk mapping serves the whole task; every scheduled core's
+        # ID state flips secure.
+        regs = self.context_setter.map_chunks(task.program, task.chunks)
+        scheduled.xlat_registers[core_ids[0]] = regs
+        for core_id in core_ids:
+            self.context_setter.set_core_secure(self._core(core_id))
+        return scheduled
+
+    def complete(self, scheduled: ScheduledSecureTask) -> None:
+        """Tear down a finished secure task (scrub + downgrade + free)."""
+        self._require_boot()
+        for core_id in scheduled.core_ids:
+            core = self._core(core_id)
+            regs = scheduled.xlat_registers.get(core_id, [])
+            self.context_setter.clear_secure_context(core, regs)
+        self.allocator.release_chunks(scheduled.task.chunks)
+        self.allocator.release_spad(scheduled.task.task_id)
+        if self.domains and scheduled.task.domain:
+            self.domains.release(scheduled.task.domain)
+        scheduled.task.chunks = {}
+
+    def attest(self) -> Dict[str, bytes]:
+        """Return the secure boot measurement log (remote attestation)."""
+        self._require_boot()
+        return dict(self.boot_chain.measurements)
+
+    #: Device-unique attestation key (fused at manufacturing; the secure
+    #: boot ROM hands it only to a correctly measured Monitor).
+    DEVICE_KEY = b"snpu-device-endorsement-key"
+
+    def quote(self, nonce: bytes, task_measurement: Optional[bytes] = None) -> Dict[str, bytes]:
+        """Produce a signed attestation quote for a remote verifier.
+
+        Binds the verifier's *nonce* (freshness), the secure-boot
+        measurement log, and optionally the measurement of a specific
+        secure task, under a MAC with the device key — the paper's
+        user-facing attestation flow (cf. ITX's focus, §VII discussion).
+        """
+        from repro.common.crypto import mac, measure
+
+        self._require_boot()
+        log = b"".join(
+            name.encode() + digest
+            for name, digest in sorted(self.boot_chain.measurements.items())
+        )
+        body = nonce + measure(log) + (task_measurement or b"")
+        return {
+            "nonce": nonce,
+            "boot_digest": measure(log),
+            "task_measurement": task_measurement or b"",
+            "signature": mac(self.DEVICE_KEY, body),
+        }
+
+    @staticmethod
+    def verify_quote(quote: Dict[str, bytes], device_key: bytes,
+                     nonce: bytes) -> bool:
+        """Remote-verifier side: check freshness and the signature."""
+        from repro.common.crypto import verify_mac
+
+        if quote.get("nonce") != nonce:
+            return False
+        body = (
+            quote["nonce"] + quote["boot_digest"] + quote["task_measurement"]
+        )
+        return verify_mac(device_key, body, quote["signature"])
+
+    # ------------------------------------------------------------------
+    # Trampoline handlers (the normal world's only entry points)
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        t = self.trampoline
+        t.register(TrampolineFunc.SUBMIT_SECURE_TASK, self._h_submit)
+        t.register(TrampolineFunc.RUN_NEXT_SECURE_TASK, self._h_run_next)
+        t.register(TrampolineFunc.QUERY_QUEUE_DEPTH, self._h_depth)
+        t.register(TrampolineFunc.ATTEST_MEASUREMENT, self._h_attest)
+
+    def _h_submit(self, call: TrampolineCall, caller: World):
+        program = call.args.get("program")
+        expected = call.args.get("expected_measurement")
+        if not isinstance(program, NPUProgram) or not isinstance(expected, bytes):
+            raise ConfigError("submit needs a program and an expected measurement")
+        return self.submit(
+            program,
+            expected,
+            encrypted_model=call.shared or None,
+            model_key=call.args.get("model_key"),
+            model_tag=call.args.get("model_tag"),
+        )
+
+    def _h_run_next(self, call: TrampolineCall, caller: World):
+        core_ids = list(call.args.get("core_ids", []))
+        return self.schedule_next(core_ids)
+
+    def _h_depth(self, call: TrampolineCall, caller: World):
+        return len(self.queue)
+
+    def _h_attest(self, call: TrampolineCall, caller: World):
+        return self.attest()
+
+    # ------------------------------------------------------------------
+    def _core(self, core_id: int) -> NPUCore:
+        if not 0 <= core_id < len(self.cores):
+            raise ConfigError(f"no NPU core {core_id}")
+        return self.cores[core_id]
+
+    def _require_boot(self) -> None:
+        if not self.booted:
+            raise PrivilegeError("the Monitor has not completed secure boot")

@@ -1,0 +1,54 @@
+"""Secure loader shim: route integrity + task upload (§IV-B/C).
+
+"Secure loader first guarantees the route integrity of the ML task...
+verifies whether scheduled NPU cores match the topology of the expected
+NoC network.  After verifying the route integrity, secure loader uploads
+the ML task into corresponding NPU cores."
+
+The canonical attack: a task requests a 2x2 sub-mesh; a malicious driver
+schedules it onto 1x4 cores, forcing its NoC traffic through unexpected
+cores.  ``verify_route`` rejects any allocation that is not a contiguous
+rectangle of the requested shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RouteIntegrityError
+from repro.monitor.task_queue import SecureTask
+from repro.noc.mesh import Mesh
+
+
+class SecureLoader:
+    """Verifies NoC topology and uploads secure tasks to cores."""
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+        self.loads = 0
+        self.rejections = 0
+
+    def verify_route(
+        self, topology: Optional[Tuple[int, int]], core_ids: List[int]
+    ) -> None:
+        """Check the scheduled cores against the task's expected topology."""
+        if topology is None:
+            if len(core_ids) != 1:
+                self.rejections += 1
+                raise RouteIntegrityError(
+                    f"single-core task scheduled onto {len(core_ids)} cores"
+                )
+            return
+        rows, cols = topology
+        if not self.mesh.is_rectangle(core_ids, rows, cols):
+            self.rejections += 1
+            raise RouteIntegrityError(
+                f"scheduled cores {sorted(core_ids)} do not form the expected "
+                f"{rows}x{cols} sub-mesh"
+            )
+
+    def load(self, task: SecureTask, core_ids: List[int]) -> None:
+        """Route-check then mark the task as loaded on *core_ids*."""
+        self.verify_route(task.topology, core_ids)
+        task.loaded_cores = list(core_ids)
+        self.loads += 1

@@ -1,0 +1,57 @@
+"""Secure task queue: verified secure tasks awaiting NPU scheduling."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.memory.allocator import Chunk
+from repro.npu.isa import NPUProgram
+
+
+@dataclass
+class SecureTask:
+    """A verified secure task with its secure-memory binding."""
+
+    task_id: int
+    program: NPUProgram
+    measurement: bytes
+    chunks: Dict[str, Chunk] = field(default_factory=dict)
+    #: NoC topology the task expects, e.g. (2, 2); None = single core.
+    topology: Optional[Tuple[int, int]] = None
+    loaded_cores: List[int] = field(default_factory=list)
+    #: Secure domain ID when the Monitor manages multiple domains (§VII);
+    #: 0 means the single hardware secure world.
+    domain: int = 0
+
+
+class SecureTaskQueue:
+    """FIFO of verified secure tasks (the Monitor owns it exclusively)."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[SecureTask] = deque()
+        self._next_id = 1
+
+    def enqueue(self, task: SecureTask) -> None:
+        if len(self._queue) >= self.capacity:
+            raise ConfigError("secure task queue is full")
+        self._queue.append(task)
+
+    def dequeue(self) -> Optional[SecureTask]:
+        return self._queue.popleft() if self._queue else None
+
+    def peek(self) -> Optional[SecureTask]:
+        return self._queue[0] if self._queue else None
+
+    def new_task_id(self) -> int:
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,110 @@
+"""CPU-side TEE substrate: PMP-protected secure world and secure boot.
+
+The prototype "implemented the NPU Monitor within a secure domain using
+PMP protection in RISC-V CPUs" on top of the Penglai TEE, with a secure
+boot flow: "the secure CPU verifies a minimal code of the trusted loader,
+which then loads and verifies the trusted firmware.  The trusted firmware
+further loads and verifies software in the trusted world, such as TEEOS
+and NPU Monitor...  The Root-of-Trust for this secure boot chain remains
+in the SoC" (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import AddressRange, Permission, World
+from repro.errors import MeasurementError, PrivilegeError
+from repro.monitor.crypto import measure
+
+
+@dataclass(frozen=True)
+class PMPRegion:
+    """One physical-memory-protection entry."""
+
+    range: AddressRange
+    world: World
+    perm: Permission = Permission.RW
+
+
+class PMPChecker:
+    """RISC-V PMP-style filter for CPU-side accesses to monitor memory."""
+
+    def __init__(self, regions: Optional[List[PMPRegion]] = None):
+        self.regions: List[PMPRegion] = list(regions or [])
+        self.violations = 0
+
+    def add(self, region: PMPRegion) -> None:
+        self.regions.append(region)
+
+    def check(self, addr: int, size: int, world: World, perm: Permission) -> None:
+        """Raise :class:`~repro.errors.PrivilegeError` on an illegal access."""
+        for region in self.regions:
+            if region.range.contains(addr, size):
+                if region.world is World.SECURE and world is not World.SECURE:
+                    self.violations += 1
+                    raise PrivilegeError(
+                        f"PMP: {world.name} access to secure range "
+                        f"[{addr:#x}, {addr + size:#x})"
+                    )
+                if not region.perm.allows(perm):
+                    self.violations += 1
+                    raise PrivilegeError(
+                        f"PMP: permission {region.perm!r} denies {perm!r} at "
+                        f"{addr:#x}"
+                    )
+                return
+        # Addresses outside every PMP region default to normal world.
+
+
+@dataclass
+class BootStage:
+    """One link of the secure boot chain."""
+
+    name: str
+    code: bytes
+    expected_measurement: bytes
+
+
+class SecureBootChain:
+    """Measured boot: loader -> firmware -> TEEOS -> NPU Monitor.
+
+    Each stage's code is measured and compared against the expectation
+    held by the previous (already-trusted) stage; the Root-of-Trust is the
+    SoC-fused expectation of the first stage.
+    """
+
+    def __init__(self, stages: List[BootStage]):
+        self.stages = stages
+        self.booted = False
+        self.measurements: Dict[str, bytes] = {}
+
+    @classmethod
+    def standard(cls, monitor_code: bytes) -> "SecureBootChain":
+        """Build the paper's chain with deterministic stand-in blobs."""
+        blobs = [
+            ("trusted_loader", b"snpu-trusted-loader-v1"),
+            ("trusted_firmware", b"snpu-opensbi-firmware-v1"),
+            ("teeos", b"snpu-teeos-v1"),
+            ("npu_monitor", monitor_code),
+        ]
+        return cls(
+            [
+                BootStage(name, code, measure(code))
+                for name, code in blobs
+            ]
+        )
+
+    def boot(self) -> Dict[str, bytes]:
+        """Verify every stage in order; returns the measurement log."""
+        for stage in self.stages:
+            digest = measure(stage.code)
+            if digest != stage.expected_measurement:
+                self.booted = False
+                raise MeasurementError(
+                    f"secure boot: stage {stage.name!r} measurement mismatch"
+                )
+            self.measurements[stage.name] = digest
+        self.booted = True
+        return dict(self.measurements)

@@ -1,0 +1,95 @@
+"""Trampoline: the normal-world <-> Monitor call gate (§IV-C, §V).
+
+"To facilitate communication with software in the non-secure domain, we
+have designed a trampoline protocol that includes the function ID,
+arguments, and shared memory."
+
+The trampoline is the *only* path from the untrusted driver into the
+Monitor.  It validates the function ID, defensively copies the shared
+memory (so the caller cannot mutate it mid-check — a classic TOCTOU), and
+bounds argument sizes before dispatching to a registered handler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.types import World
+from repro.errors import TrampolineError
+
+
+class TrampolineFunc(enum.IntEnum):
+    """Stable function IDs of the Monitor ABI."""
+
+    SUBMIT_SECURE_TASK = 1
+    RUN_NEXT_SECURE_TASK = 2
+    RELEASE_SECURE_TASK = 3
+    QUERY_QUEUE_DEPTH = 4
+    ATTEST_MEASUREMENT = 5
+
+
+#: Maximum shared-memory payload crossing the trampoline (one call).
+MAX_SHARED_BYTES = 64 * 1024 * 1024
+#: Maximum number of scalar arguments.
+MAX_ARGS = 16
+
+
+@dataclass
+class TrampolineCall:
+    """One marshalled call from the normal world."""
+
+    func: TrampolineFunc
+    args: Dict[str, Any] = field(default_factory=dict)
+    shared: bytes = b""
+
+
+Handler = Callable[[TrampolineCall, World], Any]
+
+
+class Trampoline:
+    """Function-ID dispatch table with defensive marshalling."""
+
+    def __init__(self):
+        self._handlers: Dict[TrampolineFunc, Handler] = {}
+        self.calls = 0
+        self.rejected = 0
+
+    def register(self, func: TrampolineFunc, handler: Handler) -> None:
+        if func in self._handlers:
+            raise TrampolineError(f"handler for {func.name} already registered")
+        self._handlers[func] = handler
+
+    def invoke(
+        self,
+        func: int,
+        args: Optional[Dict[str, Any]] = None,
+        shared: bytes = b"",
+        caller_world: World = World.NORMAL,
+    ) -> Any:
+        """Cross into the Monitor.  Raises on malformed calls."""
+        self.calls += 1
+        try:
+            func_id = TrampolineFunc(func)
+        except ValueError:
+            self.rejected += 1
+            raise TrampolineError(f"unknown trampoline function id {func}")
+        handler = self._handlers.get(func_id)
+        if handler is None:
+            self.rejected += 1
+            raise TrampolineError(f"no handler for {func_id.name}")
+        args = dict(args or {})
+        if len(args) > MAX_ARGS:
+            self.rejected += 1
+            raise TrampolineError(f"too many arguments ({len(args)} > {MAX_ARGS})")
+        if len(shared) > MAX_SHARED_BYTES:
+            self.rejected += 1
+            raise TrampolineError(
+                f"shared buffer of {len(shared)} bytes exceeds "
+                f"{MAX_SHARED_BYTES}"
+            )
+        # Defensive copy: the normal world must not be able to flip bytes
+        # between the Monitor's checks and its use of the data.
+        call = TrampolineCall(func=func_id, args=args, shared=bytes(shared))
+        return handler(call, caller_world)

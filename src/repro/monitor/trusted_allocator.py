@@ -1,0 +1,98 @@
+"""Trusted allocator shim: secure memory + scratchpad slot management (§IV-C).
+
+"Trusted allocator is responsible for allocating memory buffers in the
+reserved secure memory like input/output data and model of secure tasks.
+It also checks that there is no overlap for the scratchpad."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.types import AddressRange
+from repro.errors import AllocationError, ConfigError
+from repro.memory.allocator import Chunk, ChunkAllocator
+from repro.npu.isa import NPUProgram
+
+
+@dataclass(frozen=True)
+class SpadSlot:
+    """A reserved scratchpad line range for one secure task."""
+
+    task_id: int
+    core_id: int
+    start_line: int
+    lines: int
+
+    @property
+    def end_line(self) -> int:
+        return self.start_line + self.lines
+
+
+class TrustedAllocator:
+    """Allocates secure-memory chunks and non-overlapping scratchpad slots."""
+
+    def __init__(self, secure_range: AddressRange, spad_lines: int):
+        if spad_lines < 1:
+            raise ConfigError(f"spad_lines must be >= 1, got {spad_lines}")
+        self._chunks = ChunkAllocator(secure_range, alignment=4096)
+        self.spad_lines = spad_lines
+        self._slots: List[SpadSlot] = []
+
+    # ------------------------------------------------------------------
+    # Secure memory
+    # ------------------------------------------------------------------
+    def bind_program(self, program: NPUProgram, task_id: int) -> Dict[str, Chunk]:
+        """Allocate one secure chunk per program buffer."""
+        chunks: Dict[str, Chunk] = {}
+        try:
+            for name, vrange in program.chunks.items():
+                chunks[name] = self._chunks.alloc(
+                    vrange.size, tag=f"secure:{task_id}:{name}"
+                )
+        except AllocationError:
+            for chunk in chunks.values():
+                self._chunks.free(chunk)
+            raise
+        return chunks
+
+    def release_chunks(self, chunks: Dict[str, Chunk]) -> None:
+        for chunk in chunks.values():
+            self._chunks.free(chunk)
+
+    # ------------------------------------------------------------------
+    # Scratchpad slots (the no-overlap check)
+    # ------------------------------------------------------------------
+    def reserve_spad(self, task_id: int, core_id: int, start: int, lines: int) -> SpadSlot:
+        """Reserve scratchpad lines for a task; overlap is rejected."""
+        if start < 0 or lines < 1 or start + lines > self.spad_lines:
+            raise ConfigError(
+                f"spad slot [{start}, {start + lines}) outside 0..{self.spad_lines}"
+            )
+        for slot in self._slots:
+            if slot.core_id == core_id and not (
+                start + lines <= slot.start_line or start >= slot.end_line
+            ):
+                raise AllocationError(
+                    f"scratchpad slot [{start}, {start + lines}) on core "
+                    f"{core_id} overlaps task {slot.task_id}'s "
+                    f"[{slot.start_line}, {slot.end_line})"
+                )
+        slot = SpadSlot(task_id=task_id, core_id=core_id, start_line=start, lines=lines)
+        self._slots.append(slot)
+        return slot
+
+    def release_spad(self, task_id: int) -> int:
+        """Free every slot of *task_id*; returns lines released."""
+        released = sum(s.lines for s in self._slots if s.task_id == task_id)
+        self._slots = [s for s in self._slots if s.task_id != task_id]
+        return released
+
+    @property
+    def secure_bytes_used(self) -> int:
+        return self._chunks.used_bytes
+
+    @property
+    def slots(self) -> List[SpadSlot]:
+        return list(self._slots)

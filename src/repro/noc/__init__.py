@@ -1,0 +1,20 @@
+"""Flit-level mesh NoC with the peephole authentication mechanism (§IV-B, §V)."""
+
+from repro.noc.flit import Flit, FlitKind, Packet
+from repro.noc.mesh import Mesh
+from repro.noc.router import NoCPolicy, RouterController, NoCFabric
+from repro.noc.software_noc import SoftwareNoC
+from repro.noc.network import WormholeNetwork, TransferOutcome
+
+__all__ = [
+    "Flit",
+    "FlitKind",
+    "Packet",
+    "Mesh",
+    "NoCPolicy",
+    "RouterController",
+    "NoCFabric",
+    "SoftwareNoC",
+    "WormholeNetwork",
+    "TransferOutcome",
+]

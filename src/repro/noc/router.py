@@ -1,0 +1,174 @@
+"""Router controllers with the peephole authentication FSM (Fig. 12, §V).
+
+Each NPU core owns a router controller with a send engine and a receive
+engine.  A transfer proceeds: the sender leaves ``IDLE``, enters
+``PEEPHOLE`` (generates the authentication identity — the core's ID/world
+bit — and places it in the head flit), then ``TRANSFER`` streams body
+flits, one per cycle, wormhole style.  The receiver authenticates the head
+flit's identity against its own ID state: mismatch rejects the packet
+(:class:`~repro.errors.NoCAuthError`) before any body flit is accepted.
+
+"Notably, authentication occurs only once.  After verified, the router map
+locks, preventing other cores from using this channel" — a successful
+authentication locks the receive channel to the sender; other senders are
+rejected until the channel is released.  The check rides the head flit's
+normal processing, so the peephole adds **zero cycles** over the
+unauthorized NoC — the property Fig. 16 demonstrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import World
+from repro.errors import ConfigError, NoCAuthError, PrivilegeError
+from repro.noc.flit import Packet
+from repro.noc.mesh import Mesh
+from repro.sim.engine import SimEngine
+
+
+class NoCPolicy(enum.Enum):
+    UNAUTHORIZED = "unauthorized"
+    PEEPHOLE = "peephole"
+
+
+class RouterState(enum.Enum):
+    IDLE = "idle"
+    PEEPHOLE = "peephole"
+    TRANSFER = "transfer"
+
+
+@dataclass
+class RouterStats:
+    packets_sent: int = 0
+    packets_received: int = 0
+    packets_rejected: int = 0
+    flits_moved: int = 0
+
+
+class RouterController:
+    """Send/receive engines of one core's router."""
+
+    def __init__(self, fabric: "NoCFabric", core_id: int, world: World = World.NORMAL):
+        self.fabric = fabric
+        self.core_id = core_id
+        self.world = world
+        self.state = RouterState.IDLE
+        #: Receive channel lock: sender id after a successful authentication.
+        self.locked_src: Optional[int] = None
+        self.stats = RouterStats()
+
+    def set_world(self, world: World, issuer: World) -> None:
+        """The router's identity follows the core's ID state (secure insn)."""
+        if issuer is not World.SECURE:
+            raise PrivilegeError("router identity follows the core's secure ID state")
+        self.world = world
+
+    def release_channel(self, issuer: World) -> None:
+        """Unlock the receive channel (task teardown, via the Monitor)."""
+        if self.locked_src is not None and self.world is World.SECURE:
+            if issuer is not World.SECURE:
+                raise PrivilegeError("a secure channel is released by the secure world")
+        self.locked_src = None
+
+    # ------------------------------------------------------------------
+    def authenticate(self, packet: Packet) -> None:
+        """Receive-engine peephole check on the head flit."""
+        if self.fabric.policy is not NoCPolicy.PEEPHOLE:
+            return
+        if packet.world is not self.world:
+            self.stats.packets_rejected += 1
+            raise NoCAuthError(
+                f"router {self.core_id} ({self.world.name}) rejected packet "
+                f"from core {packet.src} ({packet.world.name})"
+            )
+        if self.locked_src is not None and self.locked_src != packet.src:
+            self.stats.packets_rejected += 1
+            raise NoCAuthError(
+                f"router {self.core_id} channel is locked to core "
+                f"{self.locked_src}; core {packet.src} rejected"
+            )
+        self.locked_src = packet.src
+
+
+class NoCFabric:
+    """The mesh fabric: wires routers together over a simulation engine."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        policy: NoCPolicy = NoCPolicy.UNAUTHORIZED,
+        hop_cycles: int = 2,
+        flit_bytes: int = 16,
+        engine: Optional[SimEngine] = None,
+    ):
+        if hop_cycles < 1 or flit_bytes < 1:
+            raise ConfigError("hop_cycles and flit_bytes must be >= 1")
+        self.mesh = mesh
+        self.policy = policy
+        self.hop_cycles = hop_cycles
+        self.flit_bytes = flit_bytes
+        self.engine = engine or SimEngine()
+        self.routers: List[RouterController] = [
+            RouterController(self, i) for i in range(mesh.size)
+        ]
+
+    # ------------------------------------------------------------------
+    def latency_cycles(self, src: int, dst: int, nbytes: int) -> float:
+        """Analytic wormhole latency: head traverses the hops, then one
+        flit per cycle drains behind it."""
+        hops = self.mesh.hops(src, dst)
+        n_flits = Packet(src, dst, nbytes, self.routers[src].world).n_flits(
+            self.flit_bytes
+        )
+        return hops * self.hop_cycles + n_flits
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> float:
+        """Run one packet through the event-driven fabric; returns latency.
+
+        Raises :class:`~repro.errors.NoCAuthError` when the receiving
+        peephole rejects the packet; rejection happens at head-flit arrival
+        and no body flit crosses the link.
+        """
+        sender = self.routers[src]
+        receiver = self.routers[dst]
+        packet = Packet(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            world=sender.world,
+            route=self.mesh.route(src, dst),
+        )
+        start = self.engine.now
+        outcome: Dict[str, object] = {}
+
+        def head_arrives() -> None:
+            sender.state = RouterState.TRANSFER
+            try:
+                receiver.authenticate(packet)
+            except NoCAuthError as exc:
+                outcome["error"] = exc
+                sender.state = RouterState.IDLE
+                return
+            receiver.state = RouterState.TRANSFER
+            n_flits = packet.n_flits(self.flit_bytes)
+            sender.stats.flits_moved += n_flits
+            receiver.stats.flits_moved += n_flits
+            # Wormhole: the tail flit lands n_flits - 1 cycles after the head.
+            self.engine.schedule(max(0, n_flits - 1) + 1, tail_arrives)
+
+        def tail_arrives() -> None:
+            sender.state = RouterState.IDLE
+            receiver.state = RouterState.IDLE
+            sender.stats.packets_sent += 1
+            receiver.stats.packets_received += 1
+            outcome["done_at"] = self.engine.now
+
+        sender.state = RouterState.PEEPHOLE  # generate the identity
+        self.engine.schedule(self.mesh.hops(src, dst) * self.hop_cycles, head_arrives)
+        self.engine.run()
+        if "error" in outcome:
+            raise outcome["error"]  # type: ignore[misc]
+        return float(outcome["done_at"]) - start  # type: ignore[arg-type]

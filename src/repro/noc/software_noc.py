@@ -1,0 +1,46 @@
+"""Software NoC baseline: inter-core transfer through shared DRAM (§VI-D).
+
+"A naive isolation mechanism for inter-core communication is to leverage
+the dedicated shared memory (i.e., software NoC): storing the intermediate
+data in the shared memory and then reloading it from another NPU core",
+with the shared buffer's access permission restricted.
+
+Cost of one transfer: the producer DMA-stores the data to the shared
+buffer, the driver notifies the consumer, and the consumer DMA-loads it
+back — two serialized passes over the DRAM channel plus per-pass access
+latency plus a software synchronization overhead.  Fig. 16's micro-test
+uses the *ideal* assumption that the NPU is the only DRAM client, which is
+what this model computes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+
+
+class SoftwareNoC:
+    """Shared-memory inter-core transport."""
+
+    def __init__(self, dram: DRAMModel, sync_overhead_cycles: float = 150.0):
+        if sync_overhead_cycles < 0:
+            raise ConfigError("negative sync overhead")
+        self.dram = dram
+        self.sync_overhead_cycles = float(sync_overhead_cycles)
+        self.transfers = 0
+        self.bytes_moved = 0.0
+
+    def latency_cycles(self, nbytes: int, share: float = 1.0) -> float:
+        """Latency of moving *nbytes* from one core's scratchpad to another's."""
+        store = self.dram.transfer_cycles(nbytes, share) + self.dram.access_latency
+        load = self.dram.transfer_cycles(nbytes, share) + self.dram.access_latency
+        return store + load + self.sync_overhead_cycles
+
+    def transfer(self, nbytes: int, share: float = 1.0) -> float:
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        return self.latency_cycles(nbytes, share)
+
+    def extra_dram_bytes(self, nbytes: int) -> float:
+        """DRAM traffic added per transfer (write + read of the buffer)."""
+        return 2.0 * nbytes

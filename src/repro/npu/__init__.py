@@ -1,0 +1,42 @@
+"""The integrated NPU model: a Gemmini-style systolic-array accelerator.
+
+Components:
+
+* :mod:`repro.npu.config` — the SoC/NPU configuration of Table II,
+* :mod:`repro.npu.isa` — the op-schedule IR the tiling compiler emits,
+* :mod:`repro.npu.scratchpad` — banked scratchpad with per-line ID state
+  (the NPU Isolator's scratchpad half, §IV-B),
+* :mod:`repro.npu.systolic` — systolic-array timing,
+* :mod:`repro.npu.dma` — the DMA engine, splitting requests into packets
+  and routing them through an access controller,
+* :mod:`repro.npu.core` — a single NPU core executing op schedules with a
+  double-buffered pipeline,
+* :mod:`repro.npu.multicore` — the multi-core complex connected by a NoC.
+"""
+
+from repro.npu.config import NPUConfig
+from repro.npu.isa import (
+    SpadTransfer,
+    TileIteration,
+    LayerSchedule,
+    NPUProgram,
+)
+from repro.npu.scratchpad import Scratchpad, SpadIsolationMode
+from repro.npu.systolic import SystolicArray
+from repro.npu.dma import DMAEngine
+from repro.npu.core import NPUCore, RunResult, LayerResult
+
+__all__ = [
+    "NPUConfig",
+    "SpadTransfer",
+    "TileIteration",
+    "LayerSchedule",
+    "NPUProgram",
+    "Scratchpad",
+    "SpadIsolationMode",
+    "SystolicArray",
+    "DMAEngine",
+    "NPUCore",
+    "RunResult",
+    "LayerResult",
+]

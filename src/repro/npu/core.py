@@ -1,0 +1,357 @@
+"""A single NPU core executing op schedules.
+
+Two timing paths produce the figures:
+
+* :meth:`NPUCore.run_analytic` — folds each layer's uniform block math
+  through the double-buffered pipeline model.  Exact for stall-free
+  controllers (Guarder / NoProtection), and fast enough to sweep budgets
+  and granularities (Figs. 1, 14, 15, 17).
+* :meth:`NPUCore.run_detailed` — walks every tile iteration and pushes
+  every DMA request through the access controller, so IOTLB hits/misses
+  and page walks emerge from the actual page-touch sequence (Fig. 13).
+  With ``functional=True`` it also moves real bytes, which the security
+  tests rely on.
+
+A consistency test asserts the two paths agree under the Guarder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.common.types import CheckStats, World
+from repro.errors import ConfigError, PrivilegeError
+from repro.memory.dram import DRAMModel
+from repro.mmu.base import AccessController
+from repro.npu.config import NPUConfig
+from repro.npu.dma import DMAEngine
+from repro.npu.isa import LayerSchedule, NPUProgram
+from repro.npu.scratchpad import Scratchpad, SpadIsolationMode
+from repro.npu.systolic import SystolicArray
+
+#: Supported flush granularities of the TrustZone-NPU baseline (Fig. 14).
+FLUSH_GRANULARITIES = ("tile", "layer", "layer5")
+
+
+@dataclass
+class LayerResult:
+    """Per-layer timing outcome."""
+
+    name: str
+    index: int
+    cycles: float
+    load_bytes: float
+    store_bytes: float
+    compute_cycles: float
+    macs: int
+    flush_cycles: float = 0.0
+
+    @property
+    def dma_bytes(self) -> float:
+        return self.load_bytes + self.store_bytes
+
+
+@dataclass
+class RunResult:
+    """End-to-end outcome of executing one program on one core."""
+
+    task_name: str
+    cycles: float
+    macs: int
+    layers: List[LayerResult]
+    peak_macs_per_cycle: int
+    check_stats: CheckStats = field(default_factory=CheckStats)
+    flush_overhead_cycles: float = 0.0
+    dma_requests: int = 0
+    dma_packets: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of peak MAC throughput achieved (Fig. 1)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.macs / (self.peak_macs_per_cycle * self.cycles)
+
+    @property
+    def dma_bytes(self) -> float:
+        return sum(layer.dma_bytes for layer in self.layers)
+
+    def normalized_to(self, baseline: "RunResult") -> float:
+        """Normalized performance vs *baseline* (1.0 = same speed)."""
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+
+class NPUCore:
+    """One Gemmini-style accelerator tile."""
+
+    def __init__(
+        self,
+        config: NPUConfig,
+        controller: AccessController,
+        dram: DRAMModel,
+        core_id: int = 0,
+        spad_mode: SpadIsolationMode = SpadIsolationMode.NONE,
+        functional: bool = False,
+    ):
+        self.config = config
+        self.controller = controller
+        self.dram = dram
+        self.core_id = core_id
+        self._world = World.NORMAL
+        self.systolic = SystolicArray(config)
+        self.scratchpad = Scratchpad(
+            config.spad_lines, config.spad_line_bytes, mode=spad_mode
+        )
+        self.accumulator = Scratchpad(
+            config.acc_lines, config.acc_line_bytes, mode=spad_mode
+        )
+        self.dma = DMAEngine(
+            config,
+            controller,
+            dram,
+            scratchpad=self.scratchpad,
+            accumulator=self.accumulator,
+            functional=functional,
+        )
+
+    # ------------------------------------------------------------------
+    # Secure world state (the core's ID bit, §IV-B)
+    # ------------------------------------------------------------------
+    @property
+    def world(self) -> World:
+        return self._world
+
+    def set_world(self, world: World, issuer: World) -> None:
+        """Secure instruction: set the core's ID state.
+
+        Only the secure world (the NPU Monitor's context setter) may issue
+        it; the untrusted driver attempting this raises
+        :class:`~repro.errors.PrivilegeError`.
+        """
+        if issuer is not World.SECURE:
+            raise PrivilegeError(
+                "set_world is a secure instruction; the normal-world driver "
+                "cannot change the NPU core's ID state"
+            )
+        self._world = world
+
+    # ------------------------------------------------------------------
+    # Analytic timing path
+    # ------------------------------------------------------------------
+    def _boundary_cost(self, layer: LayerSchedule, share: float) -> float:
+        """Cycles of one flush context switch at a preemption boundary.
+
+        scrub of the used lines + fixed driver/control overhead + re-fetch
+        of any scratchpad-resident data the schedule relied on.
+        """
+        cost = self.config.scrub_cycles(layer.spad_lines_used)
+        cost += self.config.context_switch_cycles
+        if layer.resident_bytes:
+            cost += self.dram.transfer_cycles(layer.resident_bytes, share)
+        return cost
+
+    def _layer_cycles_analytic(
+        self,
+        layer: LayerSchedule,
+        share: float,
+        flush: Optional[str],
+        spad_mode_overhead: float = 0.0,
+    ) -> tuple:
+        """Return (total_cycles, flush_cycles) for one layer."""
+        iters = layer.n_iterations
+        blocks = max(layer.n_blocks, 1)
+        issue = DMAEngine.ISSUE_CYCLES
+        load = (
+            (layer.n_load_requests / iters) * issue
+            + self.dram.transfer_cycles(layer.load_bytes_per_iter, share)
+        )
+        # Output blocks drain once per accumulation (end_of_block), not per
+        # iteration - mirror the detailed path's block-granular stores.
+        store_block = (
+            (layer.n_store_requests / blocks) * issue
+            + self.dram.transfer_cycles(layer.store_bytes / blocks, share)
+        )
+        compute = layer.compute_cycles_per_iter + spad_mode_overhead
+        slot = max(load, compute)
+        slot_store = max(load, compute, store_block)
+
+        if flush == "tile":
+            # Each output block is its own pipeline segment followed by a
+            # full context switch.
+            iters_per_quantum = iters / blocks
+            segment = (
+                max(iters_per_quantum - 1, 0) * slot
+                + slot_store
+                + load
+                + store_block
+            )
+            boundary = self._boundary_cost(layer, share)
+            total = blocks * (segment + boundary)
+            return total, blocks * boundary
+        # One pipeline segment for the whole layer.
+        total = (
+            (iters - blocks) * slot + blocks * slot_store + load + store_block
+        )
+        if flush == "layer":
+            boundary = self._boundary_cost(layer, share)
+            return total + boundary, boundary
+        return total, 0.0
+
+    def run_analytic(
+        self,
+        program: NPUProgram,
+        share: float = 1.0,
+        flush: Optional[str] = None,
+    ) -> RunResult:
+        """Fast timing over the layer summaries (no controller involved).
+
+        ``flush`` ∈ {None, "tile", "layer", "layer5"} charges the flush
+        baseline's context-switch costs at the corresponding boundaries.
+        """
+        if flush is not None and flush not in FLUSH_GRANULARITIES:
+            raise ConfigError(f"unknown flush granularity {flush!r}")
+        layers: List[LayerResult] = []
+        total = 0.0
+        flush_total = 0.0
+        for i, layer in enumerate(program.layers):
+            per_layer_flush = flush if flush != "layer5" else None
+            cycles, fcycles = self._layer_cycles_analytic(
+                layer, share, per_layer_flush
+            )
+            if flush == "layer5" and (i + 1) % 5 == 0:
+                boundary = self._boundary_cost(layer, share)
+                cycles += boundary
+                fcycles += boundary
+            layers.append(
+                LayerResult(
+                    name=layer.name,
+                    index=layer.index,
+                    cycles=cycles,
+                    load_bytes=layer.load_bytes,
+                    store_bytes=layer.store_bytes,
+                    compute_cycles=layer.compute_cycles,
+                    macs=layer.macs,
+                    flush_cycles=fcycles,
+                )
+            )
+            total += cycles
+            flush_total += fcycles
+        return RunResult(
+            task_name=program.task_name,
+            cycles=total,
+            macs=program.total_macs,
+            layers=layers,
+            peak_macs_per_cycle=self.config.peak_macs_per_cycle,
+            flush_overhead_cycles=flush_total,
+        )
+
+    # ------------------------------------------------------------------
+    # Detailed timing path
+    # ------------------------------------------------------------------
+    def _functional_compute(self, iteration) -> None:
+        """Model the compute stage's scratchpad traffic in functional mode.
+
+        The systolic array reads the freshly loaded operand lines and
+        writes the (placeholder) result into the accumulator lines the
+        upcoming store will drain — exercising the scratchpad's isolation
+        rules exactly where the hardware would.
+        """
+        import numpy as np
+
+        world = self._world
+        for transfer in iteration.loads:
+            spad = (
+                self.accumulator if transfer.to_accumulator else self.scratchpad
+            )
+            lines = min(transfer.lines, spad.lines - transfer.spad_line)
+            if lines > 0:
+                spad.read(transfer.spad_line, lines, world)
+        for transfer in iteration.stores:
+            spad = (
+                self.accumulator if transfer.to_accumulator else self.scratchpad
+            )
+            lines = min(transfer.lines, spad.lines - transfer.spad_line)
+            if lines > 0:
+                result = np.full(
+                    (lines, spad.line_bytes), 0x42, dtype=np.uint8
+                )
+                spad.write(transfer.spad_line, result, world)
+
+    def run_detailed(
+        self,
+        program: NPUProgram,
+        share: float = 1.0,
+        flush: Optional[str] = None,
+        reset_stats: bool = True,
+    ) -> RunResult:
+        """Walk every tile iteration through the DMA engine + controller."""
+        if flush is not None and flush not in FLUSH_GRANULARITIES:
+            raise ConfigError(f"unknown flush granularity {flush!r}")
+        if reset_stats:
+            self.controller.reset_stats()
+            self.dma.stats.reset()
+
+        layers: List[LayerResult] = []
+        total = 0.0
+        flush_total = 0.0
+        for i, layer in enumerate(program.layers):
+            layer_cycles = 0.0
+            layer_flush = 0.0
+            seg_sum = 0.0
+            seg_first_load = None
+            seg_last_store = 0.0
+            for it in layer.iterations():
+                load = sum(self.dma.execute(t, share) for t in it.loads)
+                if self.dma.functional:
+                    self._functional_compute(it)
+                store = sum(self.dma.execute(t, share) for t in it.stores)
+                compute = it.compute_cycles
+                self.systolic.record(compute, it.macs)
+                if seg_first_load is None:
+                    seg_first_load = load
+                seg_sum += max(load, compute, store)
+                seg_last_store = store
+                if flush == "tile" and it.end_of_block:
+                    boundary = self._boundary_cost(layer, share)
+                    layer_cycles += (
+                        seg_sum + (seg_first_load or 0.0) + seg_last_store + boundary
+                    )
+                    layer_flush += boundary
+                    seg_sum, seg_first_load, seg_last_store = 0.0, None, 0.0
+            if seg_first_load is not None or seg_sum:
+                layer_cycles += seg_sum + (seg_first_load or 0.0) + seg_last_store
+            if flush == "layer" or (flush == "layer5" and (i + 1) % 5 == 0):
+                boundary = self._boundary_cost(layer, share)
+                layer_cycles += boundary
+                layer_flush += boundary
+            layers.append(
+                LayerResult(
+                    name=layer.name,
+                    index=layer.index,
+                    cycles=layer_cycles,
+                    load_bytes=layer.load_bytes,
+                    store_bytes=layer.store_bytes,
+                    compute_cycles=layer.compute_cycles,
+                    macs=layer.macs,
+                    flush_cycles=layer_flush,
+                )
+            )
+            total += layer_cycles
+            flush_total += layer_flush
+
+        stats_copy = CheckStats()
+        stats_copy.merge(self.controller.stats)
+        return RunResult(
+            task_name=program.task_name,
+            cycles=total,
+            macs=program.total_macs,
+            layers=layers,
+            peak_macs_per_cycle=self.config.peak_macs_per_cycle,
+            check_stats=stats_copy,
+            flush_overhead_cycles=flush_total,
+            dma_requests=self.dma.stats.requests,
+            dma_packets=self.dma.stats.packets,
+        )

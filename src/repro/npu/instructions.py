@@ -1,0 +1,119 @@
+"""Gemmini-style instruction stream lowering.
+
+The simulator's execute loop works on tile iterations; this module lowers
+a compiled program all the way to the architectural instruction stream the
+hardware would consume — ``CONFIG`` / ``MVIN`` / ``PRELOAD`` / ``COMPUTE``
+/ ``MVOUT`` / ``FENCE`` plus the sNPU secure instructions (``SET_ID``,
+``RESET_SPAD``).  Useful for inspecting schedules, counting instruction
+mixes, and for tools that want an assembly-like view::
+
+    from repro.npu.instructions import disassemble, lower_program
+    for instr in lower_program(program):
+        print(disassemble(instr))
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.common.types import World
+from repro.npu.isa import NPUProgram
+
+
+class Opcode(enum.Enum):
+    CONFIG = "config"
+    MVIN = "mvin"
+    PRELOAD = "preload"
+    COMPUTE = "compute"
+    MVOUT = "mvout"
+    FENCE = "fence"
+    # sNPU secure instructions (§IV-B/C).
+    SET_ID = "set_id"
+    RESET_SPAD = "reset_spad"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One architectural NPU instruction."""
+
+    opcode: Opcode
+    #: Operands, opcode-specific (addresses in bytes, sizes in elements).
+    operands: Tuple[int, ...] = ()
+    comment: str = ""
+
+
+def disassemble(instr: Instruction) -> str:
+    ops = ", ".join(
+        f"{op:#x}" if op >= 4096 else str(op) for op in instr.operands
+    )
+    text = f"{instr.opcode.value:10s} {ops}"
+    return f"{text:48s} # {instr.comment}" if instr.comment else text
+
+
+def lower_program(
+    program: NPUProgram, array_dim: int = 16
+) -> Iterator[Instruction]:
+    """Lower every layer to its instruction stream, in execution order."""
+    if program.world is World.SECURE:
+        yield Instruction(Opcode.SET_ID, (1,), "core enters the secure domain")
+    for layer in program.layers:
+        yield Instruction(
+            Opcode.CONFIG, (layer.index,), f"layer {layer.name}"
+        )
+        for it in layer.iterations():
+            for transfer in it.loads:
+                req = transfer.request
+                if req.rows <= 1:
+                    # Contiguous transfer: descriptors split it by bytes.
+                    chunk = max(1, req.size // req.sub_requests)
+                    for s in range(req.sub_requests):
+                        yield Instruction(
+                            Opcode.MVIN,
+                            (req.vaddr + s * chunk,
+                             min(chunk, req.size - s * chunk)),
+                            req.stream,
+                        )
+                    continue
+                per = -(-req.rows // req.sub_requests)
+                for s in range(req.sub_requests):
+                    row0 = s * per
+                    stride = req.row_stride or req.row_bytes or req.size
+                    yield Instruction(
+                        Opcode.MVIN,
+                        (req.vaddr + row0 * stride, min(per, req.rows - row0)),
+                        req.stream,
+                    )
+            if it.macs:
+                # One weight preload + compute per weight tile of the block.
+                _g0, _gp, _m0, bm, _k0, bk, _n0, bn = it.gemm_coords or (
+                    0, 1, 0, array_dim, 0, array_dim, 0, array_dim,
+                )
+                tiles = max(1, -(-bk // array_dim)) * max(1, -(-bn // array_dim))
+                for _ in range(tiles):
+                    yield Instruction(Opcode.PRELOAD, (array_dim, array_dim))
+                    yield Instruction(Opcode.COMPUTE, (bm,))
+            else:
+                yield Instruction(Opcode.COMPUTE, (0,), "vector op")
+            for transfer in it.stores:
+                req = transfer.request
+                yield Instruction(
+                    Opcode.MVOUT, (req.vaddr, max(1, req.rows)), req.stream
+                )
+        yield Instruction(Opcode.FENCE, (), f"end of {layer.name}")
+    if program.world is World.SECURE:
+        yield Instruction(
+            Opcode.RESET_SPAD, (0,), "scrub + downgrade scratchpad state"
+        )
+        yield Instruction(Opcode.SET_ID, (0,), "core leaves the secure domain")
+
+
+def instruction_histogram(
+    program: NPUProgram, array_dim: int = 16
+) -> Dict[str, int]:
+    """Instruction-mix counts of the lowered stream."""
+    histogram: Dict[str, int] = {}
+    for instr in lower_program(program, array_dim):
+        histogram[instr.opcode.value] = histogram.get(instr.opcode.value, 0) + 1
+    return histogram

@@ -1,0 +1,243 @@
+"""Multi-core NPU complex: layer-pipelined execution over the NoC (Fig. 17).
+
+A model's layers are partitioned into contiguous stages, one per core;
+frames stream through the pipeline and intermediate activations cross
+stage boundaries either
+
+* **directly over the NoC** (unauthorized or peephole — identical timing,
+  since peephole authentication rides the head flit), or
+* **through shared DRAM** (the software-NoC baseline), which adds one
+  store and one reload of every boundary activation to the already
+  contended DRAM channel, plus driver synchronization.
+
+Steady-state throughput is bounded by the slower of (a) the busiest
+stage's compute and (b) the shared DRAM channel serving every stage's DMA
+traffic; the software NoC inflates (b), which is where its ~20 % end-to-end
+loss comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.noc.mesh import Mesh
+from repro.noc.router import NoCFabric, NoCPolicy
+from repro.noc.software_noc import SoftwareNoC
+from repro.npu.config import NPUConfig
+from repro.npu.isa import LayerSchedule, NPUProgram
+
+#: NoC transport methods compared in Figs. 16/17.
+NOC_METHODS = ("unauthorized", "peephole", "software")
+
+
+@dataclass
+class StageSummary:
+    """One pipeline stage: a contiguous run of layers on one core."""
+
+    core_id: int
+    layer_names: List[str]
+    compute_cycles: float
+    dma_bytes: float
+    boundary_bytes: float = 0.0  # activation shipped to the next stage
+
+
+@dataclass
+class MultiCoreResult:
+    """Outcome of a pipelined multi-core run."""
+
+    task_name: str
+    method: str
+    n_cores: int
+    frames: int
+    frame_interval: float
+    e2e_cycles: float
+    stages: List[StageSummary] = field(default_factory=list)
+    noc_transfer_cycles: float = 0.0
+
+    def normalized_to(self, baseline: "MultiCoreResult") -> float:
+        return baseline.e2e_cycles / self.e2e_cycles if self.e2e_cycles else 0.0
+
+
+class NPUComplex:
+    """N cores + mesh NoC executing one model as a layer pipeline."""
+
+    def __init__(self, config: NPUConfig, mesh: Mesh, dram: DRAMModel):
+        self.config = config
+        self.mesh = mesh
+        self.dram = dram
+        self.software_noc = SoftwareNoC(dram)
+        self.fabric = NoCFabric(
+            mesh,
+            policy=NoCPolicy.PEEPHOLE,
+            hop_cycles=config.noc_hop_cycles,
+            flit_bytes=config.noc_flit_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def partition_stages(
+        self, program: NPUProgram, n_cores: int
+    ) -> List[StageSummary]:
+        """Greedy contiguous partition balancing per-stage busy time."""
+        if n_cores < 1 or n_cores > self.mesh.size:
+            raise ConfigError(
+                f"cannot pipeline over {n_cores} cores on a mesh of {self.mesh.size}"
+            )
+        layers = program.layers
+        weights = [self._layer_busy(l) for l in layers]
+        total = sum(weights)
+        target = total / n_cores
+        stages: List[List[LayerSchedule]] = []
+        current: List[LayerSchedule] = []
+        acc = 0.0
+        for pos, (layer, w) in enumerate(zip(layers, weights)):
+            remaining_stages = n_cores - len(stages)
+            remaining_layers = len(layers) - pos
+            if (
+                current
+                and acc + w / 2 > target
+                and remaining_stages > 1
+                and remaining_layers >= remaining_stages
+            ):
+                stages.append(current)
+                current, acc = [], 0.0
+            current.append(layer)
+            acc += w
+        if current:
+            stages.append(current)
+        while len(stages) < n_cores:
+            # Split the heaviest multi-layer stage.
+            idx = max(
+                (i for i, s in enumerate(stages) if len(s) > 1),
+                key=lambda i: sum(self._layer_busy(l) for l in stages[i]),
+                default=None,
+            )
+            if idx is None:
+                break
+            stage = stages.pop(idx)
+            half = max(1, len(stage) // 2)
+            stages.insert(idx, stage[half:])
+            stages.insert(idx, stage[:half])
+
+        out: List[StageSummary] = []
+        for core_id, group in enumerate(stages):
+            out.append(
+                StageSummary(
+                    core_id=core_id,
+                    layer_names=[l.name for l in group],
+                    compute_cycles=sum(l.compute_cycles for l in group),
+                    dma_bytes=sum(l.load_bytes + l.store_bytes for l in group),
+                    boundary_bytes=group[-1].store_bytes,
+                )
+            )
+        out[-1].boundary_bytes = 0.0  # the last stage writes final output
+        return out
+
+    def _layer_busy(self, layer: LayerSchedule) -> float:
+        dma = self.dram.transfer_cycles(layer.load_bytes + layer.store_bytes)
+        return max(layer.compute_cycles, dma)
+
+    # ------------------------------------------------------------------
+    def map_interleaved(
+        self, program: NPUProgram, n_cores: int
+    ) -> List[StageSummary]:
+        """Layer-interleaved mapping: layer i runs on core ``i % n_cores``.
+
+        This is the paper's multi-core usage — "map different layers of
+        neural network into the different NPU cores" — so *every*
+        inter-layer activation crosses the NoC (or round-trips DRAM under
+        the software-NoC baseline).
+        """
+        if n_cores < 1 or n_cores > self.mesh.size:
+            raise ConfigError(
+                f"cannot pipeline over {n_cores} cores on a mesh of {self.mesh.size}"
+            )
+        stages = [
+            StageSummary(core_id=i, layer_names=[], compute_cycles=0.0, dma_bytes=0.0)
+            for i in range(n_cores)
+        ]
+        for i, layer in enumerate(program.layers):
+            stage = stages[i % n_cores]
+            stage.layer_names.append(layer.name)
+            stage.compute_cycles += layer.compute_cycles
+            stage.dma_bytes += layer.load_bytes + layer.store_bytes
+        return stages
+
+    def crossing_bytes(self, program: NPUProgram, n_cores: int) -> List[float]:
+        """Activation bytes crossing a core boundary per frame, one entry
+        per inter-layer edge whose producer and consumer cores differ."""
+        out: List[float] = []
+        for i, layer in enumerate(program.layers[:-1]):
+            if n_cores > 1 and (i % n_cores) != ((i + 1) % n_cores):
+                out.append(layer.store_bytes)
+        return out
+
+    def run_pipeline(
+        self,
+        program: NPUProgram,
+        n_cores: int = 4,
+        method: str = "peephole",
+        frames: int = 8,
+    ) -> MultiCoreResult:
+        """Stream *frames* inferences through an *n_cores*-core layer
+        pipeline (interleaved mapping).
+
+        * ``unauthorized`` / ``peephole`` — activations crossing cores move
+          directly over the NoC; the producer's DRAM store and the
+          consumer's reload disappear from the shared channel.  Peephole
+          authentication rides the head flit: identical timing.
+        * ``software`` — crossing activations round-trip through a shared
+          DRAM buffer with driver synchronization per transfer.
+        """
+        if method not in NOC_METHODS:
+            raise ConfigError(f"unknown NoC method {method!r}; use {NOC_METHODS}")
+        if frames < 1:
+            raise ConfigError(f"need at least one frame, got {frames}")
+        stages = self.map_interleaved(program, n_cores)
+        crossings = self.crossing_bytes(program, n_cores)
+        crossing_total = sum(crossings)
+        dma_total = sum(s.dma_bytes for s in stages)
+
+        if method == "software":
+            # Stores + reloads of crossing activations are already part of
+            # dma_total (the single-core schedule spills every activation);
+            # charge the per-transfer synchronization on top.
+            effective_dma = dma_total
+            transfer = sum(
+                self.software_noc.transfer(int(b)) for b in crossings if b
+            )
+        else:
+            # Direct NoC: remove the producer store + consumer reload from
+            # the shared channel; the link moves the data instead.
+            effective_dma = max(0.0, dma_total - 2.0 * crossing_total)
+            transfer = sum(
+                self.fabric.latency_cycles(i % n_cores, (i + 1) % n_cores, int(b))
+                for i, b in enumerate(crossings)
+                if b
+            )
+
+        t_channel = self.dram.transfer_cycles(effective_dma)
+        t_compute = max(s.compute_cycles for s in stages)
+        interval = max(t_channel, t_compute)
+
+        # Per-frame latency: every layer processed once plus transfers.
+        per_frame = (
+            sum(
+                max(s.compute_cycles, self.dram.transfer_cycles(s.dma_bytes))
+                for s in stages
+            )
+            + transfer
+        )
+        e2e = per_frame + (frames - 1) * interval
+        return MultiCoreResult(
+            task_name=program.task_name,
+            method=method,
+            n_cores=n_cores,
+            frames=frames,
+            frame_interval=interval,
+            e2e_cycles=e2e,
+            stages=stages,
+            noc_transfer_cycles=transfer,
+        )

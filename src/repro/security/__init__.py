@@ -1,0 +1,29 @@
+"""Executable attack scenarios from the paper's threat model."""
+
+from repro.security.attacks import (
+    AttackResult,
+    attack_dma_steal_secure_memory,
+    attack_leftoverlocals,
+    attack_global_spad_cotenant,
+    attack_noc_route_hijack,
+    attack_driver_sets_secure_context,
+    attack_tampered_task_code,
+    attack_wrong_topology,
+    attack_cold_boot_dram_dump,
+    run_all_attacks,
+    ALL_ATTACKS,
+)
+
+__all__ = [
+    "AttackResult",
+    "attack_dma_steal_secure_memory",
+    "attack_leftoverlocals",
+    "attack_global_spad_cotenant",
+    "attack_noc_route_hijack",
+    "attack_driver_sets_secure_context",
+    "attack_tampered_task_code",
+    "attack_wrong_topology",
+    "attack_cold_boot_dram_dump",
+    "run_all_attacks",
+    "ALL_ATTACKS",
+]

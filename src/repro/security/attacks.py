@@ -1,0 +1,375 @@
+"""Executable attacks from the paper's threat model (§I, §III-B, §IV).
+
+Every attack is a function taking ``protection`` ("none" for the
+vulnerable Normal NPU, "snpu" for the defended system) and returning an
+:class:`AttackResult` that records whether the secret actually leaked /
+the malicious action actually happened.  The security test suite asserts
+*succeeded* on the baseline and *blocked with the right exception* on
+sNPU — so a mechanism cannot pass by failing for an unrelated reason.
+
+Covered attack surfaces:
+
+1. a compromised NPU reading CPU-side secure memory via DMA (§I attack 1),
+2. LeftoverLocals: scratchpad residue theft on the exclusive scratchpad,
+3. spatial co-tenant theft on the shared/global scratchpad,
+4. NoC route hijack: a normal-world core receiving a secure stream (§IV-B),
+5. the untrusted driver programming secure context (§IV-C),
+6. tampered task code caught by measurement,
+7. wrong NoC topology caught by the secure loader's route-integrity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.types import AddressRange, DmaRequest, Permission, World
+from repro.errors import (
+    AccessViolation,
+    MeasurementError,
+    NoCAuthError,
+    PrivilegeError,
+    RouteIntegrityError,
+    ScratchpadIsolationError,
+    SecurityViolation,
+)
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.base import NoProtection
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.context_setter import install_platform_checking
+from repro.monitor.monitor import NPUMonitor
+from repro.noc.mesh import Mesh
+from repro.noc.router import NoCFabric, NoCPolicy
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.npu.dma import DMAEngine
+from repro.npu.isa import SpadTransfer
+from repro.npu.scratchpad import Scratchpad, SpadIsolationMode
+from repro.workloads.synthetic import synthetic_mlp
+
+SECRET = b"TOP-SECRET-MODEL-WEIGHTS-0123456789abcdef"
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt."""
+
+    name: str
+    protection: str
+    succeeded: bool
+    blocked_by: Optional[str] = None
+    detail: str = ""
+
+
+def _pad_lines(data: bytes, line_bytes: int) -> np.ndarray:
+    n_lines = -(-len(data) // line_bytes)
+    buf = bytearray(data) + bytes(n_lines * line_bytes - len(data))
+    return np.frombuffer(bytes(buf), dtype=np.uint8).reshape(n_lines, line_bytes)
+
+
+# ----------------------------------------------------------------------
+# 1. Compromised NPU reads CPU-side secure memory through DMA
+# ----------------------------------------------------------------------
+def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
+    """A normal-world NPU task DMAs the TrustZone secure region."""
+    config = NPUConfig.paper_default()
+    memmap = MemoryMap.default()
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    secure = memmap.region("secure")
+    dram.write(secure.range.base, SECRET)
+
+    if protection == "none":
+        controller = NoProtection()
+    else:
+        controller = NPUGuarder()
+        install_platform_checking(controller, memmap)
+        # The *driver* can map anything it likes into a translation
+        # register - the checking registers are what stop it.
+        controller.set_translation_register(
+            0, vbase=secure.range.base, pbase=secure.range.base, size=4096
+        )
+
+    spad = Scratchpad(config.spad_lines, config.spad_line_bytes)
+    dma = DMAEngine(config, controller, dram, scratchpad=spad, functional=True)
+    request = DmaRequest(
+        vaddr=secure.range.base,
+        size=len(SECRET),
+        is_write=False,
+        world=World.NORMAL,
+        stream="exfil",
+    )
+    transfer = SpadTransfer(request=request, spad_line=0, lines=3)
+    try:
+        dma.execute(transfer)
+    except SecurityViolation as exc:
+        return AttackResult(
+            "dma_steal_secure_memory", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    stolen = spad.raw_peek(0, 3).reshape(-1).tobytes()[: len(SECRET)]
+    return AttackResult(
+        "dma_steal_secure_memory", protection, succeeded=stolen == SECRET,
+        detail=f"read {stolen[:16]!r}...",
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. LeftoverLocals: residue theft on the exclusive (local) scratchpad
+# ----------------------------------------------------------------------
+def attack_leftoverlocals(protection: str = "none") -> AttackResult:
+    """A non-secure task reads scratchpad lines a secure task left behind.
+
+    On the Normal NPU (no ID bits, no scrub) the victim's data is simply
+    still there — the LeftoverLocals disclosure.  Under sNPU the read
+    faults on the ID mismatch even *before* any scrub happens.
+    """
+    config = NPUConfig.paper_default()
+    mode = (
+        SpadIsolationMode.ID_BASED if protection == "snpu" else SpadIsolationMode.NONE
+    )
+    spad = Scratchpad(config.spad_lines, config.spad_line_bytes, mode=mode)
+
+    payload = _pad_lines(SECRET, config.spad_line_bytes)
+    # Victim (secure) writes its model tiles and finishes WITHOUT an
+    # explicit flush (the attack window).
+    spad.write(100, payload, World.SECURE)
+
+    try:
+        leaked = spad.read(100, payload.shape[0], World.NORMAL)
+    except ScratchpadIsolationError as exc:
+        return AttackResult(
+            "leftoverlocals", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
+    return AttackResult(
+        "leftoverlocals", protection, succeeded=stolen == SECRET,
+        detail=f"recovered {stolen[:16]!r}...",
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Spatial co-tenant theft on the shared (global) scratchpad
+# ----------------------------------------------------------------------
+def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
+    """A concurrently running non-secure core reads (and overwrites) the
+    secure task's lines in the shared scratchpad."""
+    config = NPUConfig.paper_default()
+    mode = (
+        SpadIsolationMode.ID_BASED if protection == "snpu" else SpadIsolationMode.NONE
+    )
+    spad = Scratchpad(4096, config.spad_line_bytes, mode=mode, shared=True)
+    payload = _pad_lines(SECRET, config.spad_line_bytes)
+    spad.write(0, payload, World.SECURE)
+
+    try:
+        leaked = spad.read(0, payload.shape[0], World.NORMAL)
+        # Also attempt to corrupt the victim's data.
+        spad.write(0, np.zeros_like(payload), World.NORMAL)
+    except ScratchpadIsolationError as exc:
+        return AttackResult(
+            "global_spad_cotenant", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
+    return AttackResult(
+        "global_spad_cotenant", protection, succeeded=stolen == SECRET,
+        detail="read and overwrote secure lines",
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. NoC route hijack
+# ----------------------------------------------------------------------
+def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
+    """A compromised scheduler routes a secure core's intermediate
+    results to a core the attacker controls (Fig. 7)."""
+    config = NPUConfig.paper_default()
+    mesh = Mesh(2, 2)
+    policy = NoCPolicy.PEEPHOLE if protection == "snpu" else NoCPolicy.UNAUTHORIZED
+    fabric = NoCFabric(
+        mesh, policy=policy, hop_cycles=config.noc_hop_cycles,
+        flit_bytes=config.noc_flit_bytes,
+    )
+    # Core 0 runs the secure producer; core 3 SHOULD be the secure
+    # consumer, but the malicious scheduler put the attacker's task there.
+    fabric.routers[0].set_world(World.SECURE, issuer=World.SECURE)
+    # attacker's core 3 stays NORMAL.
+    try:
+        fabric.transfer(0, 3, nbytes=len(SECRET))
+    except NoCAuthError as exc:
+        return AttackResult(
+            "noc_route_hijack", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    received = fabric.routers[3].stats.packets_received
+    return AttackResult(
+        "noc_route_hijack", protection, succeeded=received > 0,
+        detail=f"attacker core received {received} packet(s)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 5. Untrusted driver programs secure context
+# ----------------------------------------------------------------------
+def attack_driver_sets_secure_context(protection: str = "snpu") -> AttackResult:
+    """The normal-world driver tries to flip a core secure and rewrite the
+    checking registers (so its task could pass the Guarder)."""
+    config = NPUConfig.paper_default()
+    guarder = NPUGuarder()
+    core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
+    try:
+        core.set_world(World.SECURE, issuer=World.NORMAL)
+        guarder.set_checking_register(
+            0,
+            AddressRange(0, 1 << 40),
+            Permission.RW,
+            World.NORMAL,
+            issuer=World.NORMAL,
+        )
+    except PrivilegeError as exc:
+        return AttackResult(
+            "driver_sets_secure_context", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    return AttackResult(
+        "driver_sets_secure_context", protection,
+        succeeded=core.world is World.SECURE,
+        detail="driver obtained a secure core",
+    )
+
+
+# ----------------------------------------------------------------------
+# 6. Tampered task code caught by measurement
+# ----------------------------------------------------------------------
+def attack_tampered_task_code(protection: str = "snpu") -> AttackResult:
+    """The driver swaps the verified program for a tampered one."""
+    from repro.driver.compiler import TilingCompiler
+
+    config = NPUConfig.paper_default()
+    compiler = TilingCompiler(config)
+    program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+    expected = program.measurement()  # what the user signed off on
+
+    # The attacker inflates one layer (e.g., to exfiltrate more data).
+    tampered = compiler.compile(
+        synthetic_mlp(features=512), world=World.SECURE
+    )
+    tampered.task_name = program.task_name
+
+    memmap = MemoryMap.default()
+    guarder = NPUGuarder()
+    core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
+    monitor = NPUMonitor(memmap, guarder, [core])
+    monitor.boot()
+    try:
+        monitor.submit(tampered, expected)
+    except MeasurementError as exc:
+        return AttackResult(
+            "tampered_task_code", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    return AttackResult(
+        "tampered_task_code", protection, succeeded=True,
+        detail="tampered program entered the secure queue",
+    )
+
+
+# ----------------------------------------------------------------------
+# 7. Wrong topology caught by route integrity
+# ----------------------------------------------------------------------
+def attack_wrong_topology(protection: str = "snpu") -> AttackResult:
+    """A 2x2 secure task is scheduled onto a 1x4 line of cores (§IV-B)."""
+    from repro.driver.compiler import TilingCompiler
+
+    config = NPUConfig.paper_default()
+    compiler = TilingCompiler(config)
+    program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+    program.topology = (2, 2)
+
+    memmap = MemoryMap.default()
+    guarder = NPUGuarder()
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    mesh = Mesh(2, 5)
+    cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(10)]
+    monitor = NPUMonitor(memmap, guarder, cores, mesh)
+    monitor.boot()
+    monitor.submit(program, program.measurement())
+    try:
+        monitor.schedule_next([0, 1, 2, 3])  # a 1x4 row, not 2x2
+    except RouteIntegrityError as exc:
+        return AttackResult(
+            "wrong_topology", protection, succeeded=False,
+            blocked_by=type(exc).__name__, detail=str(exc),
+        )
+    return AttackResult(
+        "wrong_topology", protection, succeeded=True,
+        detail="task loaded on an unexpected topology",
+    )
+
+
+# ----------------------------------------------------------------------
+# 8. Physical attack: cold-boot / bus-snoop DRAM dump (§VII composition)
+# ----------------------------------------------------------------------
+def attack_cold_boot_dram_dump(protection: str = "none") -> AttackResult:
+    """A physical attacker dumps DRAM after the NPU stored a secure tile.
+
+    sNPU itself excludes physical attacks from its threat model (§III-B)
+    and composes with memory encryption (§VII); ``protection="snpu"`` here
+    means sNPU + the memory encryption engine.
+    """
+    from repro.memory.encryption import MemoryEncryptionEngine
+
+    config = NPUConfig.paper_default()
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    spad = Scratchpad(256, config.spad_line_bytes)
+    encryption = (
+        MemoryEncryptionEngine(b"device-unique-key", dram)
+        if protection == "snpu"
+        else None
+    )
+    dma = DMAEngine(
+        config, NoProtection(), dram,
+        scratchpad=spad, functional=True, encryption=encryption,
+    )
+    payload = _pad_lines(SECRET, config.spad_line_bytes)
+    spad.write(0, payload, World.SECURE)
+    out = DmaRequest(
+        vaddr=0x8000_0000, size=payload.size, is_write=True,
+        world=World.SECURE,
+    )
+    dma.execute(SpadTransfer(request=out, spad_line=0, lines=payload.shape[0]))
+
+    # The physical dump reads raw DRAM, below every access-control check.
+    dump = dram.read(0x8000_0000, payload.size)
+    if SECRET in dump:
+        return AttackResult(
+            "cold_boot_dram_dump", protection, succeeded=True,
+            detail="plaintext model recovered from the DRAM dump",
+        )
+    return AttackResult(
+        "cold_boot_dram_dump", protection, succeeded=False,
+        blocked_by="MemoryEncryptionEngine",
+        detail="dump contains only ciphertext",
+    )
+
+
+#: name -> attack callable; each takes protection in {"none", "snpu"}.
+ALL_ATTACKS: Dict[str, Callable[[str], AttackResult]] = {
+    "dma_steal_secure_memory": attack_dma_steal_secure_memory,
+    "leftoverlocals": attack_leftoverlocals,
+    "global_spad_cotenant": attack_global_spad_cotenant,
+    "noc_route_hijack": attack_noc_route_hijack,
+    "driver_sets_secure_context": attack_driver_sets_secure_context,
+    "tampered_task_code": attack_tampered_task_code,
+    "wrong_topology": attack_wrong_topology,
+    "cold_boot_dram_dump": attack_cold_boot_dram_dump,
+}
+
+
+def run_all_attacks(protection: str) -> List[AttackResult]:
+    """Run every attack against one protection level."""
+    return [attack(protection) for attack in ALL_ATTACKS.values()]

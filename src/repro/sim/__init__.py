@@ -1,0 +1,14 @@
+"""Deterministic simulation kernel: event queue, clock, shared resources."""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import SimEngine, Event
+from repro.sim.resources import BandwidthResource, PipelineModel, StageTimes
+
+__all__ = [
+    "Clock",
+    "SimEngine",
+    "Event",
+    "BandwidthResource",
+    "PipelineModel",
+    "StageTimes",
+]

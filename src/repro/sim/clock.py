@@ -1,0 +1,41 @@
+"""A monotonic cycle counter shared by cooperating components."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic simulation clock measured in SoC cycles.
+
+    Components that model latency analytically (the NPU pipeline model)
+    advance the clock directly; the event-driven :class:`~repro.sim.engine.
+    SimEngine` owns its own clock and advances it as events fire.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current time in cycles."""
+        return self._now
+
+    def advance(self, cycles: float) -> float:
+        """Move time forward by *cycles* and return the new time."""
+        if cycles < 0:
+            raise SimulationError(f"cannot advance clock by {cycles} cycles")
+        self._now += cycles
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to absolute time *when* (no-op if in the past)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

@@ -1,0 +1,317 @@
+"""Top-level SoC facade: build a full system and run tasks on it.
+
+This is the package's primary public API::
+
+    from repro import SoC, SoCConfig
+    from repro.workloads import zoo
+
+    soc = SoC(SoCConfig(protection="snpu"))
+    result = soc.run_model(zoo.alexnet(112))
+    print(result.cycles, result.utilization)
+
+``protection`` selects the comparative system of §VI-A:
+
+* ``"none"`` — **Normal NPU**: no access control, no scratchpad
+  isolation, unauthorized NoC (the vulnerable baseline),
+* ``"trustzone"`` — **TrustZone NPU**: sMMU/IOMMU with an NS bit, whole-
+  NPU world switches with full scratchpad scrubbing, driver in the TEE,
+* ``"snpu"`` — **sNPU**: NPU Guarder + ID-based scratchpad isolation +
+  peephole NoC + NPU Monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.common.types import World
+from repro.errors import ConfigError
+from repro.driver.compiler import TilingCompiler
+from repro.driver.driver import NPUDriver, TaskBinding
+from repro.memory.allocator import ChunkAllocator
+from repro.memory.dram import DRAMModel
+from repro.memory.pagetable import PageTable
+from repro.memory.regions import MemoryMap
+from repro.mmu.base import AccessController, NoProtection
+from repro.mmu.guarder import NPUGuarder
+from repro.mmu.smmu import TrustZoneSMMU
+from repro.monitor.monitor import NPUMonitor, ScheduledSecureTask
+from repro.monitor.trampoline import TrampolineFunc
+from repro.noc.mesh import Mesh
+from repro.noc.router import NoCPolicy
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore, RunResult
+from repro.npu.isa import NPUProgram
+from repro.npu.multicore import NPUComplex
+from repro.npu.scratchpad import SpadIsolationMode
+from repro.workloads.model import ModelGraph
+
+PROTECTIONS = ("none", "trustzone", "snpu")
+
+
+@dataclass
+class SoCConfig:
+    """Build-time configuration of the simulated SoC."""
+
+    protection: str = "snpu"
+    npu: NPUConfig = field(default_factory=NPUConfig.paper_default)
+    iotlb_entries: int = 16
+    functional: bool = False
+    mesh_rows: int = 2
+    mesh_cols: int = 5
+
+    def __post_init__(self) -> None:
+        if self.protection not in PROTECTIONS:
+            raise ConfigError(
+                f"unknown protection {self.protection!r}; use one of {PROTECTIONS}"
+            )
+        if self.mesh_rows * self.mesh_cols < 1:
+            raise ConfigError("mesh must contain at least one core")
+
+
+@dataclass
+class TaskHandle:
+    """An accepted task, ready to run."""
+
+    program: NPUProgram
+    secure: bool
+    binding: Optional[TaskBinding] = None  # non-secure path
+    task_id: Optional[int] = None  # secure path (queued in the Monitor)
+    scheduled: Optional[ScheduledSecureTask] = None
+
+
+class SoC:
+    """A complete simulated SoC: CPU TEE + NPU complex + memory."""
+
+    def __init__(self, config: Optional[SoCConfig] = None):
+        self.config = config or SoCConfig()
+        npu = self.config.npu
+        self.memmap = MemoryMap.default()
+        self.dram = DRAMModel(npu.dram_bytes_per_cycle)
+        self.heap = ChunkAllocator(self.memmap.region("npu_reserved").range)
+        self.secure_heap = ChunkAllocator(self.memmap.region("secure").range)
+        self.mesh = Mesh(self.config.mesh_rows, self.config.mesh_cols)
+        self.compiler = TilingCompiler(npu)
+
+        self.page_table: Optional[PageTable] = None
+        self.controller = self._build_controller()
+        spad_mode = self._spad_mode()
+        n_cores = min(npu.num_cores, self.mesh.size)
+        self.cores = [
+            NPUCore(
+                npu,
+                self.controller,
+                self.dram,
+                core_id=i,
+                spad_mode=spad_mode,
+                functional=self.config.functional,
+            )
+            for i in range(n_cores)
+        ]
+        self.complex = NPUComplex(npu, self.mesh, self.dram)
+        if self.config.protection == "snpu":
+            self.complex.fabric.policy = NoCPolicy.PEEPHOLE
+            self.monitor: Optional[NPUMonitor] = NPUMonitor(
+                self.memmap, self.controller, self.cores, self.mesh
+            )
+            self.monitor.boot()
+        else:
+            self.complex.fabric.policy = NoCPolicy.UNAUTHORIZED
+            self.monitor = None
+        self.driver = NPUDriver(
+            self.memmap, self.heap, self.controller, page_table=self.page_table
+        )
+
+    # ------------------------------------------------------------------
+    def _build_controller(self) -> AccessController:
+        if self.config.protection == "none":
+            return NoProtection()
+        if self.config.protection == "trustzone":
+            self.page_table = PageTable()
+            return TrustZoneSMMU(
+                self.page_table, iotlb_entries=self.config.iotlb_entries
+            )
+        return NPUGuarder()
+
+    def _spad_mode(self) -> SpadIsolationMode:
+        return (
+            SpadIsolationMode.ID_BASED
+            if self.config.protection == "snpu"
+            else SpadIsolationMode.NONE
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        model: ModelGraph,
+        secure: bool = False,
+        spad_budget_bytes: Optional[int] = None,
+    ) -> NPUProgram:
+        """Compile a model for this SoC."""
+        world = World.SECURE if secure else World.NORMAL
+        return self.compiler.compile(
+            model, spad_budget_bytes=spad_budget_bytes, world=world
+        )
+
+    def submit(
+        self,
+        task: Union[ModelGraph, NPUProgram],
+        secure: bool = False,
+        expected_measurement: Optional[bytes] = None,
+    ) -> TaskHandle:
+        """Bind (non-secure) or verify+enqueue (secure) a task."""
+        program = (
+            task if isinstance(task, NPUProgram) else self.compile(task, secure)
+        )
+        if program.world is World.SECURE and not secure:
+            raise ConfigError("a secure program must be submitted with secure=True")
+        if not secure:
+            binding = self.driver.bind(program)
+            return TaskHandle(program=program, secure=False, binding=binding)
+
+        if self.config.protection == "snpu":
+            assert self.monitor is not None
+            expected = expected_measurement or program.measurement()
+            task_id = self.monitor.trampoline.invoke(
+                TrampolineFunc.SUBMIT_SECURE_TASK,
+                args={"program": program, "expected_measurement": expected},
+                caller_world=World.NORMAL,
+            )
+            return TaskHandle(program=program, secure=True, task_id=task_id)
+        if self.config.protection == "trustzone":
+            # The whole driver lives in the TEE: bind from secure memory.
+            binding = TaskBinding(program=program)
+            for name, vrange in program.chunks.items():
+                binding.chunks[name] = self.secure_heap.alloc(
+                    vrange.size, tag=f"tz:{program.task_name}:{name}"
+                )
+                assert self.page_table is not None
+                self.page_table.map_range(
+                    vrange.base,
+                    binding.chunks[name].base,
+                    vrange.size,
+                    world=World.SECURE,
+                )
+            return TaskHandle(program=program, secure=True, binding=binding)
+        raise ConfigError(
+            "the Normal NPU has no secure-task support; submit with secure=False"
+        )
+
+    def run(
+        self,
+        handle: TaskHandle,
+        core_id: int = 0,
+        detailed: bool = False,
+        share: float = 1.0,
+        flush: Optional[str] = None,
+    ) -> RunResult:
+        """Execute a submitted task on one core and tear it down."""
+        core = self.cores[core_id]
+        extra_cycles = 0.0
+        scheduled: Optional[ScheduledSecureTask] = None
+
+        if handle.secure and self.config.protection == "snpu":
+            assert self.monitor is not None
+            scheduled = self.monitor.schedule_next([core_id])
+            handle.scheduled = scheduled
+        elif handle.secure and self.config.protection == "trustzone":
+            # Whole-NPU world switch: IOTLB shootdown + scrub all NPU state
+            # on entry and exit ("clearing all sensitive NPU context during
+            # mode switching", §II-D).
+            smmu = self.controller
+            assert isinstance(smmu, TrustZoneSMMU)
+            smmu.switch_world(World.SECURE)
+            scrub = self.config.npu.scrub_cycles(
+                core.scratchpad.lines + core.accumulator.lines
+            )
+            extra_cycles += 2 * (scrub + self.config.npu.context_switch_cycles)
+
+        runner = core.run_detailed if detailed else core.run_analytic
+        result = runner(handle.program, share=share, flush=flush)
+        result.cycles += extra_cycles
+
+        if scheduled is not None:
+            self.monitor.complete(scheduled)
+            handle.scheduled = None
+        elif handle.secure and self.config.protection == "trustzone":
+            smmu = self.controller
+            assert isinstance(smmu, TrustZoneSMMU)
+            core.scratchpad.flush_all()
+            core.accumulator.flush_all()
+            smmu.switch_world(World.NORMAL)
+        return result
+
+    def release(self, handle: TaskHandle) -> None:
+        """Free a non-secure task's binding (secure tasks tear down in run)."""
+        if handle.binding is not None and not handle.secure:
+            self.driver.release(handle.binding)
+            handle.binding = None
+        elif handle.binding is not None:
+            for chunk in handle.binding.chunks.values():
+                self.secure_heap.free(chunk)
+            handle.binding.chunks.clear()
+
+    def run_model(
+        self,
+        model: ModelGraph,
+        secure: bool = False,
+        core_id: int = 0,
+        detailed: bool = False,
+    ) -> RunResult:
+        """One-shot convenience: compile, submit, run, release."""
+        handle = self.submit(model, secure=secure)
+        try:
+            return self.run(handle, core_id=core_id, detailed=detailed)
+        finally:
+            self.release(handle)
+
+    # ------------------------------------------------------------------
+    # Functional data path (requires SoCConfig(functional=True))
+    # ------------------------------------------------------------------
+    def _phys_chunk(self, handle: TaskHandle, name: str):
+        if handle.binding is not None:
+            return handle.binding.phys_of(name)
+        if handle.secure and self.config.protection == "snpu":
+            assert self.monitor is not None
+            task = next(
+                (t for t in self.monitor.queue._queue
+                 if t.task_id == handle.task_id),
+                None,
+            )
+            if task is None and handle.scheduled is not None:
+                task = handle.scheduled.task
+            if task is None or name not in task.chunks:
+                raise ConfigError(
+                    f"no bound chunk {name!r} for task {handle.task_id}"
+                )
+            return task.chunks[name]
+        raise ConfigError("task has no physical binding")
+
+    def write_input(self, handle: TaskHandle, name: str, data: bytes,
+                    offset: int = 0) -> None:
+        """Place input bytes into a task's bound buffer (host-side copy).
+
+        For secure tasks this stands for the platform's direct
+        device-to-secure-memory path ("the modern mobile SoC supports to
+        transfer the device's data directly to the secure memory", §VI-A).
+        """
+        chunk = self._phys_chunk(handle, name)
+        if offset + len(data) > chunk.size:
+            raise ConfigError(
+                f"{len(data)} bytes at offset {offset} overflow chunk "
+                f"{name!r} of {chunk.size} bytes"
+            )
+        self.dram.write(chunk.base + offset, data)
+
+    def read_output(self, handle: TaskHandle, name: str, size: int,
+                    offset: int = 0) -> bytes:
+        """Read result bytes back from a task's bound buffer."""
+        chunk = self._phys_chunk(handle, name)
+        if offset + size > chunk.size:
+            raise ConfigError(
+                f"read of {size} bytes at offset {offset} overflows chunk "
+                f"{name!r} of {chunk.size} bytes"
+            )
+        return self.dram.read(chunk.base + offset, size)

@@ -1,0 +1,48 @@
+"""DNN workload descriptions: the six models of the paper's evaluation."""
+
+from repro.workloads.model import (
+    GemmSpec,
+    VectorSpec,
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    EltwiseSpec,
+    AttentionMatmulSpec,
+    ModelGraph,
+)
+from repro.workloads.zoo import (
+    alexnet,
+    googlenet,
+    yololite,
+    mobilenet,
+    resnet18,
+    bert,
+    vgg16,
+    gpt_decoder,
+    paper_models,
+    MODEL_BUILDERS,
+)
+from repro.workloads.synthetic import synthetic_mlp, synthetic_cnn
+
+__all__ = [
+    "GemmSpec",
+    "VectorSpec",
+    "ConvSpec",
+    "DenseSpec",
+    "PoolSpec",
+    "EltwiseSpec",
+    "AttentionMatmulSpec",
+    "ModelGraph",
+    "alexnet",
+    "googlenet",
+    "yololite",
+    "mobilenet",
+    "resnet18",
+    "bert",
+    "vgg16",
+    "gpt_decoder",
+    "paper_models",
+    "MODEL_BUILDERS",
+    "synthetic_mlp",
+    "synthetic_cnn",
+]

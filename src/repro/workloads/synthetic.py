@@ -1,0 +1,49 @@
+"""Tiny synthetic workloads for unit tests and micro-benchmarks.
+
+These keep iteration counts in the tens so functional execution (real data
+movement through the DMA engine and scratchpad) stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.model import ConvSpec, DenseSpec, ModelGraph
+
+
+def synthetic_mlp(
+    name: str = "mlp",
+    layers: int = 3,
+    features: int = 256,
+    batch: int = 32,
+) -> ModelGraph:
+    """A small MLP: *layers* dense layers of *features* units."""
+    g = ModelGraph(name, input_shape=(batch, features))
+    for i in range(layers):
+        g.add(DenseSpec(f"{name}_fc{i}", features, features, batch=batch))
+    return g
+
+
+def synthetic_cnn(
+    name: str = "cnn",
+    input_size: int = 32,
+    channels: int = 32,
+    depth: int = 3,
+) -> ModelGraph:
+    """A small CNN: *depth* 3x3 convolutions at constant resolution."""
+    g = ModelGraph(name, input_shape=(input_size, input_size, 3))
+    in_c = 3
+    for i in range(depth):
+        g.add(
+            ConvSpec(
+                f"{name}_conv{i}",
+                in_h=input_size,
+                in_w=input_size,
+                in_c=in_c,
+                out_c=channels,
+                kernel=3,
+                padding=1,
+            )
+        )
+        in_c = channels
+    return g

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Unit tests use tiny synthetic workloads so functional (byte-accurate)
+execution stays fast; integration tests use the ``tiny`` zoo profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import AddressRange, Permission, World
+from repro.driver.compiler import TilingCompiler
+from repro.memory.dram import DRAMModel
+from repro.memory.pagetable import PageTable
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.mmu.iommu import IOMMU
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+
+
+@pytest.fixture
+def config() -> NPUConfig:
+    return NPUConfig.paper_default()
+
+
+@pytest.fixture
+def dram(config) -> DRAMModel:
+    return DRAMModel(config.dram_bytes_per_cycle)
+
+
+@pytest.fixture
+def memmap() -> MemoryMap:
+    return MemoryMap.default()
+
+
+@pytest.fixture
+def compiler(config) -> TilingCompiler:
+    return TilingCompiler(config)
+
+
+@pytest.fixture
+def permissive_guarder() -> NPUGuarder:
+    """Guarder that allows every normal-world access (timing runs)."""
+    guarder = NPUGuarder()
+    guarder.set_checking_register(
+        0,
+        AddressRange(0, 1 << 40),
+        Permission.RW,
+        World.NORMAL,
+        issuer=World.SECURE,
+    )
+    guarder.set_translation_register(0, vbase=0, pbase=0, size=1 << 40)
+    return guarder
+
+
+@pytest.fixture
+def mlp_program(compiler):
+    return compiler.compile(synthetic_mlp())
+
+
+@pytest.fixture
+def cnn_program(compiler):
+    return compiler.compile(synthetic_cnn())
+
+
+def identity_table(program) -> PageTable:
+    """Identity-map a program's chunks for IOMMU runs."""
+    table = PageTable()
+    for vrange in program.chunks.values():
+        base = vrange.base & ~4095
+        table.map_range(base, base, vrange.size + 8192)
+    return table
+
+
+@pytest.fixture
+def iommu_for(mlp_program):
+    def make(entries: int = 16, **kwargs) -> IOMMU:
+        return IOMMU(identity_table(mlp_program), iotlb_entries=entries, **kwargs)
+
+    return make

@@ -1,0 +1,74 @@
+"""Functional end-to-end data movement through a protected SoC.
+
+These tests run with ``SoCConfig(functional=True)`` so the DMA engine
+moves real bytes: inputs written into bound chunks flow through the access
+controller into the scratchpad, computation streams over them, and the
+outputs land back in DRAM — all while the protection mechanisms watch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SoC, SoCConfig
+from repro.common.types import World
+from repro.errors import ConfigError
+from repro.workloads.synthetic import synthetic_mlp
+
+
+@pytest.fixture
+def soc() -> SoC:
+    return SoC(SoCConfig(protection="snpu", functional=True))
+
+
+class TestFunctionalDataPath:
+    def test_write_and_read_back(self, soc):
+        handle = soc.submit(synthetic_mlp())
+        payload = bytes(range(256))
+        soc.write_input(handle, "act0", payload)
+        assert soc.read_output(handle, "act0", 256) == payload
+        soc.release(handle)
+
+    def test_overflow_rejected(self, soc):
+        handle = soc.submit(synthetic_mlp())
+        chunk = handle.binding.phys_of("act0")
+        with pytest.raises(ConfigError):
+            soc.write_input(handle, "act0", b"x", offset=chunk.size)
+        with pytest.raises(ConfigError):
+            soc.read_output(handle, "act0", chunk.size + 1)
+        soc.release(handle)
+
+    def test_unknown_chunk(self, soc):
+        handle = soc.submit(synthetic_mlp())
+        with pytest.raises(ConfigError):
+            soc.write_input(handle, "nonexistent", b"x")
+        soc.release(handle)
+
+    def test_functional_run_moves_real_bytes(self, soc):
+        handle = soc.submit(synthetic_mlp())
+        result = soc.run(handle, detailed=True)
+        assert result.cycles > 0
+        # The compute placeholder (0x42) streamed through the accumulator
+        # and the store DMA landed it in the output activation chunk -
+        # the full load -> compute -> store path moved real bytes.
+        out = soc.read_output(handle, "act1", 4096)
+        assert b"\x42" in out
+        soc.release(handle)
+
+    def test_secure_task_data_path(self, soc):
+        handle = soc.submit(synthetic_mlp(), secure=True)
+        secret = b"confidential-input" * 8
+        soc.write_input(handle, "act0", secret)
+        # The data landed in SECURE memory, not the normal heap.
+        chunk = soc._phys_chunk(handle, "act0")
+        region = soc.memmap.region_of(chunk.base)
+        assert region.name == "secure"
+        result = soc.run(handle, detailed=True)
+        assert result.check_stats.violations == 0
+        # After completion the scratchpad was scrubbed by the Monitor.
+        assert soc.cores[0].scratchpad.secure_lines == 0
+
+    def test_nonsecure_chunks_live_in_reserved_heap(self, soc):
+        handle = soc.submit(synthetic_mlp())
+        chunk = handle.binding.phys_of("weights")
+        assert soc.memmap.region_of(chunk.base).name == "npu_reserved"
+        soc.release(handle)

@@ -1,0 +1,126 @@
+"""Golden-model verification: the compiled schedule computes the right
+numbers.
+
+The functional executor drives a dense program tile-by-tile through the
+compiler's exact addresses and blocked weight layout; NumPy evaluates the
+same linear chain directly.  Agreement here pins down the compiler's
+addressing, edge blocks and accumulation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.driver.compiler import TilingCompiler
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.npu.config import NPUConfig
+from repro.npu.functional import FunctionalExecutor
+from repro.workloads.model import DenseSpec, ModelGraph
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+
+
+def make_executor(config=None):
+    config = config or NPUConfig.paper_default()
+    return config, FunctionalExecutor(config, DRAMModel(config.dram_bytes_per_cycle))
+
+
+def dense_chain(name, dims, batch):
+    """A dense model with explicit layer dimensions."""
+    g = ModelGraph(name, input_shape=(batch, dims[0]))
+    for i, (k, n) in enumerate(zip(dims, dims[1:])):
+        g.add(DenseSpec(f"{name}_fc{i}", k, n, batch=batch))
+    return g
+
+
+class TestGoldenModel:
+    @pytest.mark.parametrize(
+        "dims,batch",
+        [
+            ([64, 64], 16),                # single square layer
+            ([256, 256, 256], 32),         # the synthetic MLP shape
+            ([100, 300, 50], 7),           # ragged: edge blocks everywhere
+            ([768, 3072, 768], 128),       # a transformer FFN
+            ([33, 17, 65, 9], 5),          # tiny ragged chain
+        ],
+    )
+    def test_matches_numpy(self, dims, batch):
+        config, executor = make_executor()
+        model = dense_chain("chain", dims, batch)
+        program = TilingCompiler(config).compile(model)
+
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((batch, dims[0])).astype(np.float32)
+        weights = [
+            rng.standard_normal((k, n)).astype(np.float32) * 0.1
+            for k, n in zip(dims, dims[1:])
+        ]
+        result = executor.execute(program, x, weights)
+        reference = FunctionalExecutor.reference(x, weights)
+        np.testing.assert_allclose(result, reference, rtol=2e-3, atol=1e-3)
+
+    def test_small_budget_still_correct(self):
+        """Tiny scratchpad budgets change the blocking, not the answer."""
+        config, executor = make_executor()
+        model = dense_chain("c", [128, 256, 64], 24)
+        program = TilingCompiler(config).compile(
+            model, spad_budget_bytes=32 * 1024
+        )
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((24, 128)).astype(np.float32)
+        weights = [
+            rng.standard_normal((128, 256)).astype(np.float32) * 0.1,
+            rng.standard_normal((256, 64)).astype(np.float32) * 0.1,
+        ]
+        result = executor.execute(program, x, weights)
+        np.testing.assert_allclose(
+            result, FunctionalExecutor.reference(x, weights),
+            rtol=2e-3, atol=1e-3,
+        )
+
+    def test_different_budgets_agree_with_each_other(self):
+        config, _ = make_executor()
+        model = dense_chain("c", [96, 160], 12)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((12, 96)).astype(np.float32)
+        weights = [rng.standard_normal((96, 160)).astype(np.float32) * 0.1]
+        outputs = []
+        for budget in (32 * 1024, 256 * 1024):
+            dram = DRAMModel(config.dram_bytes_per_cycle)
+            executor = FunctionalExecutor(config, dram)
+            program = TilingCompiler(config).compile(
+                model, spad_budget_bytes=budget
+            )
+            outputs.append(executor.execute(program, x, weights))
+        np.testing.assert_allclose(outputs[0], outputs[1], rtol=1e-4)
+
+
+class TestExecutorValidation:
+    def test_conv_programs_rejected(self):
+        config, executor = make_executor()
+        program = TilingCompiler(config).compile(synthetic_cnn())
+        with pytest.raises(ConfigError):
+            executor.execute(program, np.zeros((1, 1)), [])
+
+    def test_wrong_weight_count(self):
+        config, executor = make_executor()
+        program = TilingCompiler(config).compile(synthetic_mlp())
+        with pytest.raises(ConfigError):
+            executor.execute(program, np.zeros((32, 256), np.float32), [])
+
+    def test_wrong_weight_shape(self):
+        config, executor = make_executor()
+        model = dense_chain("c", [64, 64], 8)
+        program = TilingCompiler(config).compile(model)
+        with pytest.raises(ConfigError):
+            executor.pack_weights(
+                program.layers[0], np.zeros((65, 64), np.float32)
+            )
+
+    def test_wrong_input_shape(self):
+        config, executor = make_executor()
+        model = dense_chain("c", [64, 64], 8)
+        program = TilingCompiler(config).compile(model)
+        with pytest.raises(ConfigError):
+            executor.write_input(
+                program.layers[0], np.zeros((9, 64), np.float32)
+            )

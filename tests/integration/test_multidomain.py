@@ -1,0 +1,167 @@
+"""Integration tests for multiple secure domains (§VII extension)."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import World
+from repro.driver.compiler import TilingCompiler
+from repro.errors import AllocationError, NoCAuthError, ScratchpadIsolationError
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.monitor import NPUMonitor
+from repro.noc.mesh import Mesh
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.npu.domains import (
+    DOMAIN_NORMAL,
+    DomainRouterFabric,
+    MultiDomainScratchpad,
+)
+from repro.workloads.synthetic import synthetic_mlp
+
+
+@pytest.fixture
+def multidomain_monitor(memmap, config):
+    guarder = NPUGuarder()
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(4)]
+    monitor = NPUMonitor(memmap, guarder, cores, Mesh(2, 2), domain_bits=2)
+    monitor.boot()
+    return monitor
+
+
+class TestMonitorDomainLifecycle:
+    def test_each_task_gets_its_own_domain(self, multidomain_monitor, compiler):
+        monitor = multidomain_monitor
+        domains = set()
+        for _ in range(3):
+            program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+            monitor.submit(program, program.measurement())
+        while True:
+            task = monitor.queue.dequeue()
+            if task is None:
+                break
+            assert task.domain != DOMAIN_NORMAL
+            domains.add(task.domain)
+        assert len(domains) == 3
+
+    def test_domain_exhaustion(self, multidomain_monitor, compiler):
+        monitor = multidomain_monitor  # 2-bit IDs: 3 secure domains
+        for _ in range(3):
+            program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+            monitor.submit(program, program.measurement())
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        with pytest.raises(AllocationError):
+            monitor.submit(program, program.measurement())
+
+    def test_domains_recycled_on_completion(self, multidomain_monitor, compiler):
+        monitor = multidomain_monitor
+        for round_ in range(5):  # more rounds than domains exist
+            program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+            monitor.submit(program, program.measurement())
+            scheduled = monitor.schedule_next([0])
+            monitor.complete(scheduled)
+        assert monitor.domains.in_use == 0
+
+    def test_single_bit_monitor_has_no_manager(self, memmap, config):
+        guarder = NPUGuarder()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        cores = [NPUCore(config, guarder, dram)]
+        monitor = NPUMonitor(memmap, guarder, cores)
+        assert monitor.domains is None
+
+
+class TestThreeTenantIsolation:
+    """Three secure tenants co-resident in one shared scratchpad."""
+
+    def test_spatial_cotenancy(self, config):
+        spad = MultiDomainScratchpad(
+            1024, config.spad_line_bytes, domain_bits=2, shared=True
+        )
+        secrets = {d: np.full((8, 16), 0xA0 + d, np.uint8) for d in (1, 2, 3)}
+        for d, data in secrets.items():
+            spad.write(d * 100, data, domain=d)
+        # Every tenant reads its own data, nobody else's.
+        for d in (1, 2, 3):
+            assert (spad.read(d * 100, 8, domain=d) == 0xA0 + d).all()
+            for other in (1, 2, 3):
+                if other != d:
+                    with pytest.raises(ScratchpadIsolationError):
+                        spad.read(d * 100, 8, domain=other)
+        # Nor can the normal world.
+        with pytest.raises(ScratchpadIsolationError):
+            spad.read(100, 8, domain=DOMAIN_NORMAL)
+
+
+class TestDomainNoC:
+    def test_same_domain_flows(self):
+        fabric = DomainRouterFabric(Mesh(2, 2))
+        fabric.set_domain(0, 2, issuer=World.SECURE)
+        fabric.set_domain(3, 2, issuer=World.SECURE)
+        assert fabric.transfer(0, 3, 1024) > 0
+
+    def test_cross_domain_rejected(self):
+        fabric = DomainRouterFabric(Mesh(2, 2))
+        fabric.set_domain(0, 1, issuer=World.SECURE)
+        fabric.set_domain(3, 2, issuer=World.SECURE)  # a different tenant
+        with pytest.raises(NoCAuthError):
+            fabric.transfer(0, 3, 1024)
+        assert fabric.rejections == 1
+
+    def test_timing_identical_to_plain_fabric(self):
+        from repro.noc.router import NoCFabric, NoCPolicy
+
+        fabric = DomainRouterFabric(Mesh(2, 2))
+        plain = NoCFabric(Mesh(2, 2), NoCPolicy.UNAUTHORIZED)
+        assert fabric.transfer(0, 1, 512) == plain.transfer(0, 1, 512)
+
+    def test_domain_set_is_privileged(self):
+        from repro.errors import PrivilegeError
+
+        fabric = DomainRouterFabric(Mesh(2, 2))
+        with pytest.raises(PrivilegeError):
+            fabric.set_domain(0, 1, issuer=World.NORMAL)
+
+
+class TestPreemptionStats:
+    def test_spatial_mechanisms_zero_wait(self, config):
+        from repro.driver.scheduler import MultiTaskScheduler
+
+        scheduler = MultiTaskScheduler(config)
+        for mech in ("partition", "snpu"):
+            stats = scheduler.preemption_stats(synthetic_mlp(), mech)
+            assert stats.worst_wait_cycles == 0.0
+            assert stats.meets_sla(1)
+
+    def test_coarser_granularity_waits_longer(self, config):
+        from repro.driver.scheduler import MultiTaskScheduler
+        from repro.workloads import zoo
+
+        scheduler = MultiTaskScheduler(config)
+        model = zoo.yololite(56)
+        tile = scheduler.preemption_stats(model, "tile")
+        layer = scheduler.preemption_stats(model, "layer")
+        layer5 = scheduler.preemption_stats(model, "layer5")
+        # A single-block layer cannot be split further, so worst-case waits
+        # can tie; the mean always improves with finer granularity.
+        assert tile.worst_wait_cycles <= layer.worst_wait_cycles
+        assert layer.worst_wait_cycles <= layer5.worst_wait_cycles
+        assert tile.mean_wait_cycles < layer.mean_wait_cycles
+        assert tile.mean_wait_cycles < layer5.mean_wait_cycles
+        assert tile.n_boundaries > layer.n_boundaries
+
+    def test_mean_at_most_worst(self, config):
+        from repro.driver.scheduler import MultiTaskScheduler
+
+        scheduler = MultiTaskScheduler(config)
+        stats = scheduler.preemption_stats(synthetic_mlp(), "layer")
+        assert 0 < stats.mean_wait_cycles <= stats.worst_wait_cycles
+
+    def test_unknown_mechanism(self, config):
+        from repro.driver.scheduler import MultiTaskScheduler
+        from repro.errors import ConfigError
+
+        scheduler = MultiTaskScheduler(config)
+        with pytest.raises(ConfigError):
+            scheduler.preemption_stats(synthetic_mlp(), "psychic")

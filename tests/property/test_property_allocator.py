@@ -1,0 +1,69 @@
+"""Property-based tests for the chunk allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AddressRange
+from repro.errors import AllocationError
+from repro.memory.allocator import ChunkAllocator
+
+SIZE = 1 << 16
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A sequence of alloc(size) / free(index) operations."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, SIZE // 2)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            max_size=40,
+        )
+    )
+    return ops
+
+
+@given(alloc_free_script())
+@settings(max_examples=200, deadline=None)
+def test_allocator_invariants(script):
+    alloc = ChunkAllocator(AddressRange(0x1000, SIZE))
+    live = []
+    for op, value in script:
+        if op == "alloc":
+            try:
+                chunk = alloc.alloc(value)
+            except AllocationError:
+                continue
+            live.append(chunk)
+        elif live:
+            chunk = live.pop(value % len(live))
+            alloc.free(chunk)
+
+        # Invariant 1: live chunks never overlap.
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                assert a.end <= b.base or b.end <= a.base
+        # Invariant 2: every chunk stays inside the arena.
+        for chunk in live:
+            assert alloc.range.contains(chunk.base, chunk.size)
+        # Invariant 3: byte conservation.
+        assert alloc.used_bytes == sum(c.size for c in live)
+        assert alloc.used_bytes + alloc.free_bytes == SIZE
+
+    # Invariant 4: freeing everything restores one coalesced hole.
+    for chunk in live:
+        alloc.free(chunk)
+    assert alloc.free_bytes == SIZE
+    assert alloc.largest_hole == SIZE
+
+
+@given(st.lists(st.integers(1, 4096), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_alloc_respects_alignment(sizes):
+    alloc = ChunkAllocator(AddressRange(0x40, 1 << 20), alignment=128)
+    for size in sizes:
+        chunk = alloc.alloc(size)
+        assert chunk.base % 128 == 0
+        assert chunk.size >= size

@@ -1,0 +1,72 @@
+"""Property-based tests over full compiled schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.driver.compiler import TilingCompiler
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.npu.config import NPUConfig
+from repro.npu.instructions import Opcode, lower_program
+from repro.workloads.model import DenseSpec, ModelGraph
+
+CFG = NPUConfig.paper_default()
+COMPILER = TilingCompiler(CFG)
+
+
+@st.composite
+def dense_models(draw):
+    batch = draw(st.integers(1, 64))
+    dims = draw(st.lists(st.integers(8, 512), min_size=2, max_size=4))
+    g = ModelGraph("prop", input_shape=(batch, dims[0]))
+    for i, (k, n) in enumerate(zip(dims, dims[1:])):
+        g.add(DenseSpec(f"fc{i}", k, n, batch=batch))
+    return g
+
+
+@given(dense_models())
+@settings(max_examples=40, deadline=None)
+def test_instruction_stream_invariants(model):
+    program = COMPILER.compile(model)
+    stream = list(lower_program(program))
+    mvins = sum(1 for i in stream if i.opcode is Opcode.MVIN)
+    mvouts = sum(1 for i in stream if i.opcode is Opcode.MVOUT)
+    fences = sum(1 for i in stream if i.opcode is Opcode.FENCE)
+    configs = sum(1 for i in stream if i.opcode is Opcode.CONFIG)
+    assert configs == fences == len(program.layers)
+    assert mvins == sum(l.n_load_requests for l in program.layers)
+    assert mvouts >= len(program.layers)  # every layer stores something
+    # CONFIG always precedes the layer's first MVIN.
+    assert stream[0].opcode is Opcode.CONFIG
+    # MVIN operand sizes are positive.
+    for instr in stream:
+        if instr.opcode in (Opcode.MVIN, Opcode.MVOUT):
+            assert instr.operands[1] > 0
+
+
+@given(dense_models(), st.sampled_from(["tile", "layer", "layer5"]))
+@settings(max_examples=30, deadline=None)
+def test_quanta_partition_the_run(model, granularity):
+    scheduler = MultiTaskScheduler(CFG)
+    result = scheduler.run(model)
+    quanta = scheduler._quanta(model, granularity)
+    assert sum(quanta) == (
+        __import__("pytest").approx(result.cycles, rel=1e-9)
+    )
+    assert all(q > 0 for q in quanta)
+
+
+@given(dense_models(), dense_models())
+@settings(max_examples=20, deadline=None)
+def test_temporal_corun_conserves_work(model_a, model_b):
+    model_b.name = "prop_b"  # distinct cache identity
+    scheduler = MultiTaskScheduler(CFG)
+    res = scheduler.temporal_corun(model_a, model_b, "layer")
+    # The makespan is exactly both tasks' work plus the switch overhead.
+    switch = (
+        CFG.scrub_cycles(CFG.spad_lines) + CFG.context_switch_cycles
+    )
+    expected = res.t_a_solo + res.t_b_solo + res.switches * switch
+    assert res.makespan == __import__("pytest").approx(expected, rel=1e-9)
+    # Each task completes no earlier than its own work.
+    assert res.t_a >= res.t_a_solo - 1e-6
+    assert res.t_b >= res.t_b_solo - 1e-6

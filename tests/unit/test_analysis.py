@@ -1,0 +1,94 @@
+"""Unit tests for the analysis modules (Fig. 1, Fig. 18, §VI-F)."""
+
+import pytest
+
+from repro.analysis.hwcost import (
+    baseline_npu_cost,
+    hardware_cost_report,
+    iommu_cost,
+    s_noc_cost,
+    s_reg_cost,
+    s_spad_cost,
+    snpu_extension_cost,
+)
+from repro.analysis.tcb import PAPER_TCB, count_package_loc, tcb_report
+from repro.analysis.utilization import tpu_like_config, utilization_report
+from repro.npu.config import NPUConfig
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+
+
+class TestHardwareCost:
+    @pytest.fixture
+    def cfg(self) -> NPUConfig:
+        return NPUConfig.paper_default()
+
+    def test_spad_ram_overhead_about_one_percent(self, cfg):
+        base = baseline_npu_cost(cfg)
+        spad = s_spad_cost(cfg)
+        assert 0.002 < spad.ram_kbits / base.ram_kbits < 0.015
+
+    def test_snpu_extensions_small(self, cfg):
+        base = baseline_npu_cost(cfg)
+        total = snpu_extension_cost(cfg)
+        rel = total.relative_to(base)
+        assert rel["luts"] < 0.05
+        assert rel["ffs"] < 0.05
+        assert rel["ram"] < 0.015
+
+    def test_iommu_costs_more_than_every_extension(self, cfg):
+        iommu = iommu_cost(cfg)
+        for ext in (s_reg_cost(cfg), s_spad_cost(cfg), s_noc_cost(cfg)):
+            assert iommu.luts > ext.luts
+            assert iommu.ffs > ext.ffs
+
+    def test_iommu_scales_with_entries(self, cfg):
+        assert iommu_cost(cfg, 64).luts > iommu_cost(cfg, 8).luts
+
+    def test_report_rows(self, cfg):
+        rows = hardware_cost_report(cfg)
+        names = [r["component"] for r in rows]
+        assert names == ["S_Reg", "S_Spad", "S_NoC", "sNPU", "IOMMU"]
+
+    def test_cost_addition(self, cfg):
+        a, b = s_reg_cost(cfg), s_noc_cost(cfg)
+        total = a + b
+        assert total.luts == a.luts + b.luts
+        assert total.ram_kbits == a.ram_kbits + b.ram_kbits
+
+
+class TestTCB:
+    def test_paper_numbers_present(self):
+        monitor = next(c for c in PAPER_TCB if "Monitor" in c.name)
+        assert monitor.loc == 12_854
+
+    def test_report_measures_this_repo(self):
+        report = tcb_report()
+        assert report["repro_monitor_total"] > 0
+        # The Monitor stays far smaller than the paper's untrusted stack.
+        assert report["repro_monitor_total"] < report["paper_untrusted_total"]
+
+    def test_count_package_loc(self):
+        import repro.monitor as pkg
+
+        counts = count_package_loc(pkg)
+        assert "monitor.py" in counts
+        assert all(v > 0 for v in counts.values())
+
+
+class TestUtilization:
+    def test_rows_bounded(self):
+        rows = utilization_report([synthetic_mlp(), synthetic_cnn()])
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 < row.utilization < 1
+            assert row.cycles > 0
+
+    def test_tpu_like_lowers_utilization(self):
+        models = [synthetic_cnn(input_size=64, channels=64, depth=2)]
+        gemmini = utilization_report(models)[0].utilization
+        tpu = utilization_report(models, config=tpu_like_config())[0].utilization
+        assert tpu < gemmini
+
+    def test_str(self):
+        row = utilization_report([synthetic_mlp()])[0]
+        assert "mlp" in str(row)

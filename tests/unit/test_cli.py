@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "resnet"])
+        assert args.protection == "snpu"
+        assert not args.secure
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "16 GB/s" in out and "256 GMAC/s" in out
+
+    def test_models(self, capsys):
+        assert main(["models", "--input-size", "64"]) == 0
+        out = capsys.readouterr().out
+        for name in ("googlenet", "alexnet", "bert"):
+            assert name in out
+
+    def test_run(self, capsys):
+        assert main(["run", "yololite", "--input-size", "56"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_run_secure_detailed(self, capsys):
+        code = main([
+            "run", "yololite", "--secure", "--detailed",
+            "--input-size", "56", "--protection", "snpu",
+        ])
+        assert code == 0
+        assert "secure" in capsys.readouterr().out
+
+    def test_run_unknown_model(self, capsys):
+        assert main(["run", "lenet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_attacks(self, capsys):
+        assert main(["attacks", "snpu"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked by" in out
+        assert "SECRET LEAKED" not in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "fig16"]) == 0
+        assert "NoC micro-test" in capsys.readouterr().out
+
+    def test_experiments_fig18_and_tcb(self, capsys):
+        assert main(["experiments", "fig18", "tcb"]) == 0
+        out = capsys.readouterr().out
+        assert "S_Spad" in out and "TCB" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "yololite", "--limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "mvin" in out and "instruction mix" in out
+
+    def test_disasm_unknown_model(self, capsys):
+        assert main(["disasm", "lenet"]) == 2
+
+    def test_experiments_access_paths(self, capsys):
+        assert main(["experiments", "access-paths", "--profile", "tiny"]) == 0
+        assert "type2_mmu" in capsys.readouterr().out

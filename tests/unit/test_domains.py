@@ -1,0 +1,136 @@
+"""Unit tests for the multi-domain extension (§VII)."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import World
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    PrivilegeError,
+    ScratchpadIsolationError,
+)
+from repro.npu.domains import DOMAIN_NORMAL, DomainManager, MultiDomainScratchpad
+
+
+def lines(n, fill, line_bytes=16):
+    return np.full((n, line_bytes), fill, dtype=np.uint8)
+
+
+class TestMultiDomainScratchpad:
+    @pytest.fixture
+    def spad(self) -> MultiDomainScratchpad:
+        return MultiDomainScratchpad(64, 16, domain_bits=2)
+
+    def test_num_domains(self, spad):
+        assert spad.num_domains == 4
+
+    def test_write_tags_domain(self, spad):
+        spad.write(0, lines(4, 0xAA), domain=2)
+        assert spad.lines_of_domain(2) == 4
+
+    def test_cross_domain_read_blocked(self, spad):
+        spad.write(0, lines(2, 0xAA), domain=1)
+        with pytest.raises(ScratchpadIsolationError):
+            spad.read(0, 2, domain=2)
+        with pytest.raises(ScratchpadIsolationError):
+            spad.read(0, 2, domain=DOMAIN_NORMAL)
+
+    def test_own_domain_read_allowed(self, spad):
+        spad.write(0, lines(2, 0xAA), domain=3)
+        assert (spad.read(0, 2, domain=3) == 0xAA).all()
+
+    def test_exclusive_write_retags(self, spad):
+        spad.write(0, lines(2, 0xAA), domain=1)
+        spad.write(0, lines(2, 0xBB), domain=2)  # forcible overwrite
+        assert spad.lines_of_domain(2) == 2
+        assert (spad.read(0, 2, domain=2) == 0xBB).all()
+
+    def test_domain_out_of_range(self, spad):
+        with pytest.raises(ConfigError):
+            spad.write(0, lines(1, 0), domain=4)
+
+    def test_reset_domain_scrubs(self, spad):
+        spad.write(0, lines(2, 0xAA), domain=1)
+        spad.reset_domain(0, 2, issuer=World.SECURE)
+        assert (spad.read(0, 2, domain=DOMAIN_NORMAL) == 0).all()
+
+    def test_reset_is_privileged(self, spad):
+        with pytest.raises(PrivilegeError):
+            spad.reset_domain(0, 2, issuer=World.NORMAL)
+
+    def test_bit_width_validation(self):
+        with pytest.raises(ConfigError):
+            MultiDomainScratchpad(16, 16, domain_bits=0)
+        with pytest.raises(ConfigError):
+            MultiDomainScratchpad(16, 16, domain_bits=9)
+
+
+class TestSharedMultiDomain:
+    @pytest.fixture
+    def spad(self) -> MultiDomainScratchpad:
+        return MultiDomainScratchpad(64, 16, domain_bits=3, shared=True)
+
+    def test_foreign_write_blocked_on_shared(self, spad):
+        spad.write(0, lines(2, 0xAA), domain=1)
+        with pytest.raises(ScratchpadIsolationError):
+            spad.write(0, lines(2, 0), domain=2)
+
+    def test_public_lines_claimable(self, spad):
+        spad.write(0, lines(2, 0x11), domain=DOMAIN_NORMAL)
+        spad.read(0, 2, domain=5)  # claims for domain 5
+        assert spad.lines_of_domain(5) == 2
+        with pytest.raises(ScratchpadIsolationError):
+            spad.read(0, 2, domain=DOMAIN_NORMAL)
+
+    def test_three_tenants_fully_isolated(self, spad):
+        for domain, base in ((1, 0), (2, 8), (3, 16)):
+            spad.write(base, lines(4, 0xA0 + domain), domain=domain)
+        for domain, base in ((1, 0), (2, 8), (3, 16)):
+            for other in (1, 2, 3):
+                if other == domain:
+                    assert (
+                        spad.read(base, 4, domain=other) == 0xA0 + domain
+                    ).all()
+                else:
+                    with pytest.raises(ScratchpadIsolationError):
+                        spad.read(base, 4, domain=other)
+
+
+class TestDomainManager:
+    def test_capacity(self):
+        assert DomainManager(domain_bits=1).capacity == 1
+        assert DomainManager(domain_bits=3).capacity == 7
+
+    def test_allocate_unique(self):
+        mgr = DomainManager(domain_bits=2)
+        domains = {mgr.allocate(task_id=i) for i in range(3)}
+        assert len(domains) == 3
+        assert DOMAIN_NORMAL not in domains
+
+    def test_exhaustion(self):
+        mgr = DomainManager(domain_bits=1)
+        mgr.allocate(1)
+        with pytest.raises(AllocationError):
+            mgr.allocate(2)
+
+    def test_release_and_reuse(self):
+        mgr = DomainManager(domain_bits=1)
+        domain = mgr.allocate(1)
+        assert mgr.owner_of(domain) == 1
+        mgr.release(domain)
+        assert mgr.owner_of(domain) is None
+        assert mgr.allocate(2) == domain
+
+    def test_double_release(self):
+        mgr = DomainManager(domain_bits=2)
+        domain = mgr.allocate(1)
+        mgr.release(domain)
+        with pytest.raises(AllocationError):
+            mgr.release(domain)
+
+    def test_in_use(self):
+        mgr = DomainManager(domain_bits=2)
+        mgr.allocate(1)
+        mgr.allocate(2)
+        assert mgr.in_use == 2

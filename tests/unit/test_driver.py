@@ -1,0 +1,111 @@
+"""Unit tests for the untrusted NPU driver."""
+
+import pytest
+
+from repro.common.types import World
+from repro.driver.driver import NORMAL_XLAT_REGS, NPUDriver, TaskBinding
+from repro.errors import AllocationError, ConfigError
+from repro.memory.allocator import ChunkAllocator
+from repro.memory.pagetable import PageTable
+from repro.mmu.guarder import NPUGuarder
+from repro.mmu.iommu import IOMMU
+from repro.mmu.base import NoProtection
+from repro.workloads.synthetic import synthetic_mlp
+
+
+@pytest.fixture
+def heap(memmap) -> ChunkAllocator:
+    return ChunkAllocator(memmap.region("npu_reserved").range)
+
+
+class TestGuarderBinding:
+    @pytest.fixture
+    def driver(self, memmap, heap) -> NPUDriver:
+        return NPUDriver(memmap, heap, NPUGuarder())
+
+    def test_bind_programs_translation_registers(self, driver, compiler):
+        program = compiler.compile(synthetic_mlp())
+        binding = driver.bind(program)
+        assert len(binding.xlat_registers) == len(program.chunks)
+        for reg in binding.xlat_registers:
+            assert reg in NORMAL_XLAT_REGS
+            assert driver.controller.translation[reg] is not None
+
+    def test_release_clears_registers_and_heap(self, driver, compiler, heap):
+        program = compiler.compile(synthetic_mlp())
+        binding = driver.bind(program)
+        regs = list(binding.xlat_registers)
+        driver.release(binding)
+        assert heap.used_bytes == 0
+        for reg in regs:
+            assert driver.controller.translation[reg] is None
+        assert binding not in driver.bindings
+
+    def test_register_exhaustion(self, driver, compiler):
+        bindings = []
+        with pytest.raises(AllocationError):
+            for _ in range(10):  # 3 regs per task, 8 in the normal bank
+                bindings.append(driver.bind(compiler.compile(synthetic_mlp())))
+        # Heap was rolled back? The registers ran out mid-bind; the failed
+        # task must not leak chunks.
+        used_by_live = sum(
+            c.size for b in bindings for c in b.chunks.values()
+        )
+        assert driver.heap.used_bytes == used_by_live
+
+    def test_secure_program_rejected(self, driver, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        with pytest.raises(ConfigError):
+            driver.bind(program)
+
+
+class TestPageTableBinding:
+    @pytest.fixture
+    def driver(self, memmap, heap) -> NPUDriver:
+        table = PageTable()
+        return NPUDriver(memmap, heap, IOMMU(table), page_table=table)
+
+    def test_bind_maps_pages(self, driver, compiler):
+        program = compiler.compile(synthetic_mlp())
+        binding = driver.bind(program)
+        for name, vrange in program.chunks.items():
+            paddr = driver.page_table.translate(vrange.base)
+            assert paddr == binding.chunks[name].base
+
+    def test_release_unmaps(self, driver, compiler):
+        program = compiler.compile(synthetic_mlp())
+        binding = driver.bind(program)
+        driver.release(binding)
+        for vrange in program.chunks.values():
+            assert driver.page_table.translate(vrange.base) is None
+
+    def test_mapped_world_is_normal(self, driver, compiler):
+        program = compiler.compile(synthetic_mlp())
+        driver.bind(program)
+        vrange = next(iter(program.chunks.values()))
+        pte = driver.page_table.lookup(vrange.base // 4096)
+        assert pte.world is World.NORMAL
+
+
+class TestNoProtectionBinding:
+    def test_bind_without_translation_state(self, memmap, heap, compiler):
+        driver = NPUDriver(memmap, heap, NoProtection())
+        binding = driver.bind(compiler.compile(synthetic_mlp()))
+        assert binding.xlat_registers == []
+        driver.release(binding)
+
+    def test_heap_exhaustion_rolls_back(self, memmap, compiler):
+        from repro.common.types import AddressRange
+
+        tiny_heap = ChunkAllocator(AddressRange(0x9000_0000, 1 << 16))
+        driver = NPUDriver(memmap, tiny_heap, NoProtection())
+        with pytest.raises(AllocationError):
+            driver.bind(compiler.compile(synthetic_mlp()))
+        assert tiny_heap.used_bytes == 0
+
+    def test_phys_of(self, memmap, heap, compiler):
+        driver = NPUDriver(memmap, heap, NoProtection())
+        binding = driver.bind(compiler.compile(synthetic_mlp()))
+        assert binding.phys_of("weights").size > 0
+        with pytest.raises(ConfigError):
+            binding.phys_of("nonexistent")

@@ -1,0 +1,41 @@
+"""Unit tests for the checking-energy model."""
+
+import pytest
+
+from repro.analysis.energy import (
+    ENERGY_PJ,
+    EnergyReport,
+    guarder_energy,
+    iommu_energy,
+)
+from repro.common.types import CheckStats
+
+
+class TestEnergyModel:
+    def test_iommu_charges_lookups_and_walks(self):
+        stats = CheckStats(translations=1000, page_walks=10)
+        report = iommu_energy(stats, dma_bytes=64_000)
+        expected = 1000 * ENERGY_PJ["iotlb_lookup"] + 10 * ENERGY_PJ["page_walk"]
+        assert report.checking_pj == expected
+
+    def test_guarder_charges_register_checks(self):
+        stats = CheckStats(translations=50)
+        report = guarder_energy(stats, dma_bytes=64_000)
+        assert report.checking_pj == 50 * ENERGY_PJ["register_check"]
+
+    def test_overhead_fraction(self):
+        report = EnergyReport("x", checking_pj=10.0, transfer_pj=100.0)
+        assert report.overhead == pytest.approx(0.10)
+
+    def test_zero_transfer_guard(self):
+        assert EnergyReport("x", 10.0, 0.0).overhead == 0.0
+
+    def test_guarder_far_below_iommu_for_same_run(self):
+        # Same traffic, mechanism-appropriate counters: per-packet vs
+        # per-descriptor counting is the whole point.
+        dma_bytes = 1 << 20
+        iommu_stats = CheckStats(translations=dma_bytes // 64, page_walks=200)
+        guarder_stats = CheckStats(translations=dma_bytes // 2048)
+        iommu = iommu_energy(iommu_stats, dma_bytes)
+        guarder = guarder_energy(guarder_stats, dma_bytes)
+        assert guarder.checking_pj < iommu.checking_pj / 100

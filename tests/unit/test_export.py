@@ -1,0 +1,54 @@
+"""Unit tests for experiment export (JSON/CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import to_csv, to_dict, to_json, write
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    r = ExperimentResult("figX", "demo", ["workload", "value"])
+    r.add_row(workload="a", value=1.5)
+    r.add_row(workload="b", value=2.5)
+    r.notes.append("a note")
+    return r
+
+
+class TestExport:
+    def test_to_dict(self, result):
+        d = to_dict(result)
+        assert d["exp_id"] == "figX"
+        assert d["rows"][1]["value"] == 2.5
+        assert d["notes"] == ["a note"]
+
+    def test_json_roundtrip(self, result):
+        parsed = json.loads(to_json(result))
+        assert parsed["columns"] == ["workload", "value"]
+        assert len(parsed["rows"]) == 2
+
+    def test_csv(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert rows[0]["workload"] == "a"
+        assert float(rows[1]["value"]) == 2.5
+
+    @pytest.mark.parametrize("ext", ["json", "csv", "txt"])
+    def test_write(self, result, tmp_path, ext):
+        path = tmp_path / f"out.{ext}"
+        write(result, str(path))
+        content = path.read_text()
+        assert "workload" in content
+        if ext == "json":
+            json.loads(content)
+
+    def test_real_experiment_exports(self):
+        from repro.experiments import fig16
+
+        result = fig16.run(sizes=(1, 16))
+        parsed = json.loads(to_json(result))
+        assert parsed["exp_id"] == "fig16"
+        assert to_csv(result).count("\n") >= 3

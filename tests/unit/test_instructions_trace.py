@@ -1,0 +1,109 @@
+"""Tests for the instruction lowering and the DMA trace recorder."""
+
+import pytest
+
+from repro.common.types import World
+from repro.memory.dram import DRAMModel
+from repro.mmu.base import NoProtection
+from repro.npu.core import NPUCore
+from repro.npu.dma import DMAEngine
+from repro.npu.instructions import (
+    Instruction,
+    Opcode,
+    disassemble,
+    instruction_histogram,
+    lower_program,
+)
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+
+
+class TestInstructionLowering:
+    def test_stream_structure(self, compiler):
+        program = compiler.compile(synthetic_mlp())
+        stream = list(lower_program(program))
+        opcodes = [i.opcode for i in stream]
+        # One CONFIG and one FENCE per layer, in order.
+        assert opcodes.count(Opcode.CONFIG) == len(program.layers)
+        assert opcodes.count(Opcode.FENCE) == len(program.layers)
+        assert opcodes[0] is Opcode.CONFIG
+        assert opcodes[-1] is Opcode.FENCE
+
+    def test_mvin_count_matches_descriptor_count(self, compiler):
+        program = compiler.compile(synthetic_mlp())
+        histogram = instruction_histogram(program)
+        expected = sum(l.n_load_requests for l in program.layers)
+        assert histogram["mvin"] == expected
+
+    def test_mvout_count_matches_store_descriptors(self, compiler):
+        program = compiler.compile(synthetic_mlp())
+        histogram = instruction_histogram(program)
+        # One MVOUT instruction per store transfer in this lowering.
+        stores = sum(
+            len(it.stores) for l in program.layers for it in l.iterations()
+        )
+        assert histogram["mvout"] == stores
+
+    def test_secure_program_bracketed_by_secure_instructions(self, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        stream = list(lower_program(program))
+        assert stream[0].opcode is Opcode.SET_ID
+        assert stream[0].operands == (1,)
+        assert stream[-1].opcode is Opcode.SET_ID
+        assert stream[-1].operands == (0,)
+        assert stream[-2].opcode is Opcode.RESET_SPAD
+
+    def test_nonsecure_program_has_no_secure_instructions(self, compiler):
+        histogram = instruction_histogram(compiler.compile(synthetic_mlp()))
+        assert "set_id" not in histogram
+        assert "reset_spad" not in histogram
+
+    def test_preload_compute_pairs(self, compiler):
+        program = compiler.compile(synthetic_mlp())
+        histogram = instruction_histogram(program)
+        assert histogram["preload"] == histogram["compute"]
+
+    def test_vector_layers_compute_without_preload(self, compiler):
+        program = compiler.compile(synthetic_cnn())  # has no vector... use pooling-free
+        from repro.workloads import zoo
+
+        program = compiler.compile(zoo.yololite(56))  # pools are vector ops
+        histogram = instruction_histogram(program)
+        assert histogram["compute"] > histogram["preload"]
+
+    def test_disassemble_readable(self):
+        text = disassemble(
+            Instruction(Opcode.MVIN, (0x1000, 16), "input")
+        )
+        assert "mvin" in text and "0x1000" in text and "input" in text
+
+
+class TestDMATrace:
+    def test_trace_records_transfers(self, config, dram, compiler):
+        program = compiler.compile(synthetic_mlp())
+        core = NPUCore(config, NoProtection(), dram)
+        core.dma.start_trace()
+        core.run_detailed(program)
+        records = core.dma.stop_trace()
+        assert records
+        assert records[0].index == 0
+        streams = {r.stream for r in records}
+        assert {"input", "weight", "output"} <= streams
+
+    def test_trace_off_by_default(self, config, dram, compiler):
+        core = NPUCore(config, NoProtection(), dram)
+        core.run_detailed(compiler.compile(synthetic_mlp()))
+        assert core.dma.trace is None
+
+    def test_csv_export(self, config, dram, compiler):
+        core = NPUCore(config, NoProtection(), dram)
+        core.dma.start_trace()
+        core.run_detailed(compiler.compile(synthetic_mlp()))
+        csv = DMAEngine.trace_csv(core.dma.stop_trace())
+        lines = csv.strip().split("\n")
+        assert lines[0] == "index,vaddr,size,rw,stream,cycles"
+        assert len(lines) > 10
+        assert ",R," in lines[1] or ",W," in lines[1]
+
+    def test_stop_without_start(self, config, dram):
+        core = NPUCore(config, NoProtection(), dram)
+        assert core.dma.stop_trace() == []

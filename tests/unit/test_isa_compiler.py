@@ -1,0 +1,176 @@
+"""Unit tests for the schedule IR and the tiling compiler."""
+
+import pytest
+
+from repro.common.types import World
+from repro.driver.compiler import Blocking, TilingCompiler
+from repro.errors import ConfigError
+from repro.npu.config import NPUConfig
+from repro.npu.isa import LayerSchedule
+from repro.workloads.model import GemmSpec
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+from repro.workloads import zoo
+
+
+class TestProgramIR:
+    def test_measurement_is_stable(self, compiler):
+        a = compiler.compile(synthetic_mlp())
+        b = compiler.compile(synthetic_mlp())
+        assert a.measurement() == b.measurement()
+
+    def test_measurement_detects_tampering(self, compiler):
+        a = compiler.compile(synthetic_mlp())
+        b = compiler.compile(synthetic_mlp(features=512))
+        assert a.measurement() != b.measurement()
+
+    def test_measurement_covers_world(self, compiler):
+        a = compiler.compile(synthetic_mlp())
+        b = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        assert a.measurement() != b.measurement()
+
+    def test_program_totals(self, mlp_program):
+        assert mlp_program.total_macs == 3 * 32 * 256 * 256
+        assert mlp_program.total_iterations >= 3
+        assert mlp_program.total_load_bytes > 0
+
+    def test_layer_validation(self):
+        with pytest.raises(ConfigError):
+            LayerSchedule(
+                name="x", index=0, kind="gemm", n_iterations=0, n_blocks=1,
+                load_bytes=0, store_bytes=0, compute_cycles=0, macs=0,
+                spad_lines_used=1,
+            )
+
+    def test_missing_factory_raises(self):
+        layer = LayerSchedule(
+            name="x", index=0, kind="gemm", n_iterations=1, n_blocks=1,
+            load_bytes=0, store_bytes=0, compute_cycles=0, macs=0,
+            spad_lines_used=1,
+        )
+        with pytest.raises(ConfigError):
+            layer.iterations()
+
+
+class TestBlockingSelection:
+    @pytest.fixture
+    def cfg(self) -> NPUConfig:
+        return NPUConfig.paper_default()
+
+    def test_blocks_fit_budget(self, cfg):
+        compiler = TilingCompiler(cfg)
+        spec = GemmSpec("g", m=1024, k=1024, n=1024)
+        for budget in (64 * 1024, 128 * 1024, 256 * 1024):
+            acc = cfg.acc_bytes_total * budget // cfg.spad_bytes
+            b = compiler._choose_blocking(spec, budget, acc)
+            footprint = 2 * cfg.input_bytes * (b.mb * b.kb + b.kb * b.nb)
+            assert footprint <= budget
+            assert b.mb * b.nb * cfg.acc_elem_bytes * 2 <= acc
+
+    def test_small_matrix_not_padded_up(self, cfg):
+        compiler = TilingCompiler(cfg)
+        b = compiler._choose_blocking(
+            GemmSpec("g", m=1, k=64, n=64), cfg.spad_bytes, cfg.acc_bytes_total
+        )
+        assert b.mb == 1
+
+    def test_aggregates_match_factory_fold(self, cfg):
+        """The closed-form aggregates must equal iterating the factory."""
+        compiler = TilingCompiler(cfg)
+        models = [synthetic_mlp(), synthetic_cnn(), zoo.yololite(56)]
+        for model in models:
+            program = compiler.compile(model)
+            for layer in program.layers:
+                if layer.kind != "gemm":
+                    continue
+                folded_load = folded_store = folded_compute = 0.0
+                folded_iters = folded_macs = 0
+                for it in layer.iterations():
+                    folded_iters += 1
+                    folded_load += it.load_bytes
+                    folded_store += it.store_bytes
+                    folded_compute += it.compute_cycles
+                    folded_macs += it.macs
+                assert folded_iters == layer.n_iterations
+                assert folded_load == pytest.approx(layer.load_bytes)
+                assert folded_store == pytest.approx(layer.store_bytes)
+                assert folded_compute == pytest.approx(layer.compute_cycles)
+                assert folded_macs == layer.macs
+
+    def test_macs_are_exact(self, cfg):
+        compiler = TilingCompiler(cfg)
+        model = synthetic_cnn()
+        program = compiler.compile(model)
+        assert program.total_macs == model.total_macs
+
+    def test_smaller_budget_never_faster(self, cfg):
+        """Estimated layer times are monotone in the scratchpad budget."""
+        compiler = TilingCompiler(cfg)
+        spec = GemmSpec("g", m=784, k=1152, n=256)
+        times = []
+        for budget in (32, 64, 128, 256):
+            acc = cfg.acc_bytes_total * budget * 1024 // cfg.spad_bytes
+            b = compiler._choose_blocking(spec, budget * 1024, acc)
+            times.append(compiler._estimate_layer_time(spec, b))
+        for small, big in zip(times, times[1:]):
+            assert big <= small * 1.001
+
+    def test_traffic_grows_with_smaller_budget(self, cfg):
+        compiler = TilingCompiler(cfg)
+        spec = GemmSpec("g", m=784, k=1152, n=256)
+        traffics = []
+        for budget in (32, 256):
+            acc = cfg.acc_bytes_total * budget * 1024 // cfg.spad_bytes
+            b = compiler._choose_blocking(spec, budget * 1024, acc)
+            traffics.append(compiler._traffic(spec, b))
+        assert traffics[0] > traffics[1]
+
+    def test_tiny_budget_rejected(self, cfg):
+        compiler = TilingCompiler(cfg)
+        with pytest.raises(ConfigError):
+            compiler.compile(synthetic_mlp(), spad_budget_bytes=128)
+
+
+class TestChunkLayout:
+    def test_chunks_disjoint(self, compiler):
+        program = compiler.compile(synthetic_cnn())
+        chunks = list(program.chunks.values())
+        for i, a in enumerate(chunks):
+            for b in chunks[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_requests_stay_inside_chunks(self, compiler):
+        program = compiler.compile(synthetic_cnn())
+        chunks = list(program.chunks.values())
+
+        def inside(addr, size):
+            return any(c.contains(addr, size) for c in chunks)
+
+        for layer in program.layers:
+            for it in layer.iterations():
+                for transfer in it.loads + it.stores:
+                    for base, size in transfer.request.row_ranges():
+                        assert inside(base, size), (
+                            f"{layer.name}: [{base:#x}, {base + size:#x}) "
+                            f"outside all chunks"
+                        )
+
+    def test_packed_groups_reduce_iterations(self, compiler):
+        # A grouped conv (depthwise-ish) packs groups per iteration.
+        program = compiler.compile(zoo.mobilenet(56))
+        dw = next(l for l in program.layers if l.name == "dw3")
+        assert dw.n_iterations < 128  # 128 groups would be 128+ otherwise
+
+    def test_world_propagates_to_requests(self, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        it = next(iter(program.layers[0].iterations()))
+        assert all(t.request.world is World.SECURE for t in it.loads)
+
+    def test_end_of_block_marks_k_completion(self, compiler):
+        program = compiler.compile(synthetic_mlp())
+        for layer in program.layers:
+            iters = list(layer.iterations())
+            assert sum(1 for it in iters if it.end_of_block) == layer.n_blocks
+            assert iters[-1].end_of_block
+            # Stores only happen at block completion.
+            for it in iters:
+                assert bool(it.stores) == it.end_of_block

@@ -1,0 +1,85 @@
+"""Unit tests for the shared L2 cache model."""
+
+import pytest
+
+from repro.common.types import DmaRequest, PAGE_SIZE
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.memory.l2cache import L2Cache
+from repro.mmu.base import NoProtection
+from repro.npu.config import NPUConfig
+from repro.npu.dma import DMAEngine
+from repro.npu.isa import SpadTransfer
+
+
+def req(addr, size=PAGE_SIZE):
+    return DmaRequest(vaddr=addr, size=size, is_write=False)
+
+
+class TestL2Cache:
+    def test_geometry_matches_table2(self):
+        cache = L2Cache()
+        assert cache.size_bytes == 2 * 1024 * 1024
+        assert cache.banks == 8
+
+    def test_miss_then_hit(self):
+        cache = L2Cache()
+        hit, miss = cache.access(req(0))
+        assert (hit, miss) == (0.0, PAGE_SIZE)
+        hit, miss = cache.access(req(0))
+        assert (hit, miss) == (PAGE_SIZE, 0.0)
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_eviction(self):
+        cache = L2Cache(size_bytes=8 * PAGE_SIZE, banks=1)
+        for i in range(9):
+            cache.access(req(i * PAGE_SIZE))
+        hit, _ = cache.access(req(0))  # evicted by the 9th sector
+        assert hit == 0.0
+        hit, _ = cache.access(req(8 * PAGE_SIZE))  # recent: still cached
+        assert hit == PAGE_SIZE
+
+    def test_banking_distributes_sectors(self):
+        cache = L2Cache(size_bytes=16 * PAGE_SIZE, banks=4)
+        for i in range(8):
+            cache.access(req(i * PAGE_SIZE))
+        assert cache.occupancy_sectors == 8
+
+    def test_partial_hits_on_multi_page_request(self):
+        cache = L2Cache()
+        cache.access(req(0))
+        hit, miss = cache.access(req(0, size=2 * PAGE_SIZE))
+        assert hit == pytest.approx(PAGE_SIZE)
+        assert miss == pytest.approx(PAGE_SIZE)
+
+    def test_invalidate(self):
+        cache = L2Cache()
+        cache.access(req(0))
+        cache.invalidate()
+        hit, _ = cache.access(req(0))
+        assert hit == 0.0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            L2Cache(size_bytes=100, banks=8)
+        with pytest.raises(ConfigError):
+            L2Cache(size_bytes=0)
+
+
+class TestDMAWithL2:
+    def test_rereads_get_faster(self, config, dram):
+        cache = L2Cache()
+        dma = DMAEngine(config, NoProtection(), dram, l2=cache)
+        transfer = SpadTransfer(request=req(0x8000_0000, 16 * 1024), lines=1024)
+        cold = dma.execute(transfer)
+        warm = dma.execute(transfer)
+        assert warm < cold
+        # Hits stream at 64 B/cycle vs DRAM's 16 B/cycle.
+        assert warm == pytest.approx(
+            DMAEngine.ISSUE_CYCLES + 16 * 1024 / 64.0, rel=0.01
+        )
+
+    def test_without_l2_rereads_cost_the_same(self, config, dram):
+        dma = DMAEngine(config, NoProtection(), dram)
+        transfer = SpadTransfer(request=req(0x8000_0000, 16 * 1024), lines=1024)
+        assert dma.execute(transfer) == dma.execute(transfer)

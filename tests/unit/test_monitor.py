@@ -1,0 +1,339 @@
+"""Unit tests for the NPU Monitor and its shims."""
+
+import pytest
+
+from repro.common.types import AddressRange, Permission, World
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    MeasurementError,
+    PrivilegeError,
+    RouteIntegrityError,
+    TrampolineError,
+)
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.code_verifier import CodeVerifier
+from repro.monitor.context_setter import install_platform_checking
+from repro.monitor.crypto import mac, measure, stream_cipher, verify_mac
+from repro.monitor.monitor import NPUMonitor
+from repro.monitor.secure_loader import SecureLoader
+from repro.monitor.task_queue import SecureTask, SecureTaskQueue
+from repro.monitor.tee import BootStage, PMPChecker, PMPRegion, SecureBootChain
+from repro.monitor.trampoline import Trampoline, TrampolineFunc
+from repro.monitor.trusted_allocator import TrustedAllocator
+from repro.noc.mesh import Mesh
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.workloads.synthetic import synthetic_mlp
+
+
+class TestCrypto:
+    def test_measure_deterministic(self):
+        assert measure(b"abc") == measure(b"abc")
+        assert measure(b"abc") != measure(b"abd")
+
+    def test_cipher_roundtrip(self):
+        data = b"confidential model weights" * 100
+        ct = stream_cipher(b"key", data)
+        assert ct != data
+        assert stream_cipher(b"key", ct) == data
+
+    def test_cipher_key_matters(self):
+        ct = stream_cipher(b"key1", b"data")
+        assert stream_cipher(b"key2", ct) != b"data"
+
+    def test_cipher_nonce_matters(self):
+        a = stream_cipher(b"k", b"data", nonce=b"1")
+        b = stream_cipher(b"k", b"data", nonce=b"2")
+        assert a != b
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigError):
+            stream_cipher(b"", b"data")
+
+    def test_mac_verify(self):
+        tag = mac(b"k", b"msg")
+        assert verify_mac(b"k", b"msg", tag)
+        assert not verify_mac(b"k", b"msg2", tag)
+        assert not verify_mac(b"k2", b"msg", tag)
+
+
+class TestTEE:
+    def test_pmp_blocks_normal_world(self, memmap):
+        secure = memmap.region("secure").range
+        pmp = PMPChecker([PMPRegion(secure, World.SECURE)])
+        with pytest.raises(PrivilegeError):
+            pmp.check(secure.base, 8, World.NORMAL, Permission.READ)
+        pmp.check(secure.base, 8, World.SECURE, Permission.READ)
+        assert pmp.violations == 1
+
+    def test_pmp_perm(self):
+        region = PMPRegion(AddressRange(0, 64), World.NORMAL, Permission.READ)
+        pmp = PMPChecker([region])
+        with pytest.raises(PrivilegeError):
+            pmp.check(0, 8, World.NORMAL, Permission.WRITE)
+
+    def test_boot_chain_happy_path(self):
+        chain = SecureBootChain.standard(b"monitor-code")
+        log = chain.boot()
+        assert chain.booted
+        assert set(log) == {
+            "trusted_loader", "trusted_firmware", "teeos", "npu_monitor",
+        }
+
+    def test_boot_chain_detects_tampering(self):
+        chain = SecureBootChain.standard(b"monitor-code")
+        chain.stages[1] = BootStage(
+            "trusted_firmware", b"evil-firmware",
+            chain.stages[1].expected_measurement,
+        )
+        with pytest.raises(MeasurementError):
+            chain.boot()
+        assert not chain.booted
+
+
+class TestTrampoline:
+    def test_unknown_function_rejected(self):
+        t = Trampoline()
+        with pytest.raises(TrampolineError):
+            t.invoke(999)
+        assert t.rejected == 1
+
+    def test_unregistered_handler_rejected(self):
+        t = Trampoline()
+        with pytest.raises(TrampolineError):
+            t.invoke(TrampolineFunc.SUBMIT_SECURE_TASK)
+
+    def test_defensive_copy_of_shared_memory(self):
+        t = Trampoline()
+        captured = {}
+
+        def handler(call, world):
+            captured["shared"] = call.shared
+            return "ok"
+
+        t.register(TrampolineFunc.QUERY_QUEUE_DEPTH, handler)
+        shared = bytearray(b"original")
+        t.invoke(TrampolineFunc.QUERY_QUEUE_DEPTH, shared=bytes(shared))
+        shared[0:8] = b"TAMPERED"
+        assert captured["shared"] == b"original"
+
+    def test_argument_limit(self):
+        t = Trampoline()
+        t.register(TrampolineFunc.QUERY_QUEUE_DEPTH, lambda c, w: 0)
+        args = {f"a{i}": i for i in range(99)}
+        with pytest.raises(TrampolineError):
+            t.invoke(TrampolineFunc.QUERY_QUEUE_DEPTH, args=args)
+
+    def test_double_register_rejected(self):
+        t = Trampoline()
+        t.register(TrampolineFunc.QUERY_QUEUE_DEPTH, lambda c, w: 0)
+        with pytest.raises(TrampolineError):
+            t.register(TrampolineFunc.QUERY_QUEUE_DEPTH, lambda c, w: 1)
+
+
+class TestTaskQueue:
+    def test_fifo(self):
+        q = SecureTaskQueue()
+        for i in range(3):
+            q.enqueue(SecureTask(task_id=i, program=None, measurement=b""))
+        assert q.dequeue().task_id == 0
+        assert q.peek().task_id == 1
+        assert len(q) == 2
+
+    def test_capacity(self):
+        q = SecureTaskQueue(capacity=1)
+        q.enqueue(SecureTask(task_id=1, program=None, measurement=b""))
+        with pytest.raises(ConfigError):
+            q.enqueue(SecureTask(task_id=2, program=None, measurement=b""))
+
+    def test_ids_monotonic(self):
+        q = SecureTaskQueue()
+        assert q.new_task_id() < q.new_task_id()
+
+    def test_empty_dequeue(self):
+        assert SecureTaskQueue().dequeue() is None
+
+
+class TestCodeVerifier:
+    def test_verify_accepts_matching(self, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        verifier = CodeVerifier()
+        digest = verifier.verify_program(program, program.measurement())
+        assert digest == program.measurement()
+        assert verifier.verified == 1
+
+    def test_verify_rejects_mismatch(self, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        verifier = CodeVerifier()
+        with pytest.raises(MeasurementError):
+            verifier.verify_program(program, b"\x00" * 32)
+        assert verifier.rejected == 1
+
+    def test_model_decryption_with_auth(self):
+        verifier = CodeVerifier()
+        key, model = b"k" * 16, b"weights" * 50
+        ct = stream_cipher(key, model)
+        tag = mac(key, ct)
+        assert verifier.decrypt_model(key, ct, tag=tag) == model
+        with pytest.raises(MeasurementError):
+            verifier.decrypt_model(key, ct + b"x", tag=tag)
+
+
+class TestTrustedAllocator:
+    @pytest.fixture
+    def allocator(self, memmap) -> TrustedAllocator:
+        return TrustedAllocator(memmap.region("secure").range, spad_lines=1024)
+
+    def test_bind_release(self, allocator, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        chunks = allocator.bind_program(program, task_id=1)
+        assert set(chunks) == set(program.chunks)
+        assert allocator.secure_bytes_used > 0
+        allocator.release_chunks(chunks)
+        assert allocator.secure_bytes_used == 0
+
+    def test_spad_overlap_rejected(self, allocator):
+        allocator.reserve_spad(1, core_id=0, start=0, lines=100)
+        with pytest.raises(AllocationError):
+            allocator.reserve_spad(2, core_id=0, start=50, lines=100)
+
+    def test_spad_different_cores_dont_conflict(self, allocator):
+        allocator.reserve_spad(1, core_id=0, start=0, lines=100)
+        allocator.reserve_spad(2, core_id=1, start=0, lines=100)
+
+    def test_spad_release(self, allocator):
+        allocator.reserve_spad(1, core_id=0, start=0, lines=100)
+        assert allocator.release_spad(1) == 100
+        allocator.reserve_spad(2, core_id=0, start=0, lines=100)
+
+    def test_spad_bounds(self, allocator):
+        with pytest.raises(ConfigError):
+            allocator.reserve_spad(1, core_id=0, start=1000, lines=100)
+
+
+class TestSecureLoader:
+    @pytest.fixture
+    def loader(self) -> SecureLoader:
+        return SecureLoader(Mesh(2, 5))
+
+    def test_correct_rectangle_accepted(self, loader):
+        loader.verify_route((2, 2), [0, 1, 5, 6])
+
+    def test_line_rejected_for_square(self, loader):
+        with pytest.raises(RouteIntegrityError):
+            loader.verify_route((2, 2), [0, 1, 2, 3])
+        assert loader.rejections == 1
+
+    def test_single_core_task(self, loader):
+        loader.verify_route(None, [3])
+        with pytest.raises(RouteIntegrityError):
+            loader.verify_route(None, [3, 4])
+
+    def test_load_records_cores(self, loader):
+        task = SecureTask(task_id=1, program=None, measurement=b"",
+                          topology=(1, 2))
+        loader.load(task, [2, 3])
+        assert task.loaded_cores == [2, 3]
+        assert loader.loads == 1
+
+
+class TestMonitorEndToEnd:
+    @pytest.fixture
+    def system(self, memmap, config):
+        guarder = NPUGuarder()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(4)]
+        monitor = NPUMonitor(memmap, guarder, cores, Mesh(2, 2))
+        return monitor, cores, guarder
+
+    def test_requires_boot(self, system, compiler):
+        monitor, cores, guarder = system
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        with pytest.raises(PrivilegeError):
+            monitor.submit(program, program.measurement())
+
+    def test_boot_installs_checking_registers(self, system):
+        monitor, cores, guarder = system
+        monitor.boot()
+        installed = [r for r in guarder.checking if r is not None]
+        assert len(installed) == 3  # normal, npu_reserved, secure
+
+    def test_full_secure_lifecycle(self, system, compiler):
+        monitor, cores, guarder = system
+        monitor.boot()
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        task_id = monitor.submit(program, program.measurement())
+        assert task_id >= 1
+        scheduled = monitor.schedule_next([0])
+        assert cores[0].world is World.SECURE
+        assert any(reg is not None for reg in guarder.translation[8:])
+        monitor.complete(scheduled)
+        assert cores[0].world is World.NORMAL
+        assert all(reg is None for reg in guarder.translation[8:])
+        assert monitor.allocator.secure_bytes_used == 0
+
+    def test_schedule_empty_queue(self, system):
+        monitor, _, _ = system
+        monitor.boot()
+        with pytest.raises(ConfigError):
+            monitor.schedule_next([0])
+
+    def test_failed_route_leaves_task_queued(self, system, compiler):
+        monitor, cores, guarder = system
+        monitor.boot()
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        program.topology = (2, 2)
+        monitor.submit(program, program.measurement())
+        with pytest.raises(RouteIntegrityError):
+            monitor.schedule_next([0, 1])  # wrong shape
+        assert len(monitor.queue) == 1  # still schedulable
+        monitor.schedule_next([0, 1, 2, 3])  # 2x2 on a 2x2 mesh
+
+    def test_nonsecure_program_rejected(self, system, compiler):
+        monitor, _, _ = system
+        monitor.boot()
+        program = compiler.compile(synthetic_mlp())
+        with pytest.raises(ConfigError):
+            monitor.submit(program, program.measurement())
+
+    def test_trampoline_submit_and_depth(self, system, compiler):
+        monitor, _, _ = system
+        monitor.boot()
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        task_id = monitor.trampoline.invoke(
+            TrampolineFunc.SUBMIT_SECURE_TASK,
+            args={
+                "program": program,
+                "expected_measurement": program.measurement(),
+            },
+        )
+        assert task_id >= 1
+        depth = monitor.trampoline.invoke(TrampolineFunc.QUERY_QUEUE_DEPTH)
+        assert depth == 1
+
+    def test_attestation_exposes_boot_log(self, system):
+        monitor, _, _ = system
+        monitor.boot()
+        log = monitor.trampoline.invoke(TrampolineFunc.ATTEST_MEASUREMENT)
+        assert "npu_monitor" in log
+
+    def test_encrypted_model_flow(self, system, compiler):
+        monitor, _, _ = system
+        monitor.boot()
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        key = b"0" * 16
+        model = b"secret-weights" * 10
+        ct = stream_cipher(key, model)
+        tag = mac(key, ct)
+        monitor.submit(
+            program, program.measurement(),
+            encrypted_model=ct, model_key=key, model_tag=tag,
+        )
+        with pytest.raises(MeasurementError):
+            monitor.submit(
+                program, program.measurement(),
+                encrypted_model=ct + b"x", model_key=key, model_tag=tag,
+            )

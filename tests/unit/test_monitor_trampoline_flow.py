@@ -1,0 +1,95 @@
+"""End-to-end trampoline flow: the driver's view of the Monitor ABI."""
+
+import pytest
+
+from repro.common.types import World
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.monitor import NPUMonitor, ScheduledSecureTask
+from repro.monitor.trampoline import TrampolineFunc
+from repro.noc.mesh import Mesh
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.workloads.synthetic import synthetic_mlp
+
+
+@pytest.fixture
+def system(memmap, config):
+    guarder = NPUGuarder()
+    dram = DRAMModel(config.dram_bytes_per_cycle)
+    cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(4)]
+    monitor = NPUMonitor(memmap, guarder, cores, Mesh(2, 2))
+    monitor.boot()
+    return monitor, cores
+
+
+class TestTrampolineDriverFlow:
+    """Everything a real driver does, only through trampoline calls."""
+
+    def _submit(self, monitor, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        return monitor.trampoline.invoke(
+            TrampolineFunc.SUBMIT_SECURE_TASK,
+            args={
+                "program": program,
+                "expected_measurement": program.measurement(),
+            },
+            caller_world=World.NORMAL,
+        )
+
+    def test_run_next_through_trampoline(self, system, compiler):
+        monitor, cores = system
+        self._submit(monitor, compiler)
+        scheduled = monitor.trampoline.invoke(
+            TrampolineFunc.RUN_NEXT_SECURE_TASK,
+            args={"core_ids": [1]},
+            caller_world=World.NORMAL,
+        )
+        assert isinstance(scheduled, ScheduledSecureTask)
+        assert cores[1].world is World.SECURE
+        monitor.complete(scheduled)
+        assert cores[1].world is World.NORMAL
+
+    def test_queue_depth_tracks_lifecycle(self, system, compiler):
+        monitor, _ = system
+        depth = lambda: monitor.trampoline.invoke(  # noqa: E731
+            TrampolineFunc.QUERY_QUEUE_DEPTH
+        )
+        assert depth() == 0
+        self._submit(monitor, compiler)
+        self._submit(monitor, compiler)
+        assert depth() == 2
+        scheduled = monitor.schedule_next([0])
+        assert depth() == 1
+        monitor.complete(scheduled)
+        assert depth() == 1  # completion does not touch the queue
+
+    def test_malformed_submit_rejected(self, system):
+        monitor, _ = system
+        with pytest.raises(ConfigError):
+            monitor.trampoline.invoke(
+                TrampolineFunc.SUBMIT_SECURE_TASK,
+                args={"program": "not a program", "expected_measurement": b""},
+            )
+
+    def test_two_tasks_two_cores_sequentially(self, system, compiler):
+        monitor, cores = system
+        self._submit(monitor, compiler)
+        self._submit(monitor, compiler)
+        first = monitor.schedule_next([0])
+        # A second secure task can be installed on another core while the
+        # first still runs (fine-grained multi-tasking).
+        second = monitor.schedule_next([2])
+        assert cores[0].world is World.SECURE
+        assert cores[2].world is World.SECURE
+        monitor.complete(first)
+        monitor.complete(second)
+        assert monitor.allocator.secure_bytes_used == 0
+
+    def test_trampoline_call_counters(self, system, compiler):
+        monitor, _ = system
+        before = monitor.trampoline.calls
+        self._submit(monitor, compiler)
+        assert monitor.trampoline.calls == before + 1

@@ -1,0 +1,91 @@
+"""Unit tests for the multi-core pipelined complex (Fig. 17 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.noc.mesh import Mesh
+from repro.npu.config import NPUConfig
+from repro.npu.multicore import NOC_METHODS, NPUComplex
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def complex_(config) -> NPUComplex:
+    return NPUComplex(config, Mesh(2, 5), DRAMModel(config.dram_bytes_per_cycle))
+
+
+@pytest.fixture
+def program(compiler):
+    return compiler.compile(zoo.yololite(56))
+
+
+class TestMapping:
+    def test_interleaved_covers_all_layers(self, complex_, program):
+        stages = complex_.map_interleaved(program, 4)
+        mapped = sum(len(s.layer_names) for s in stages)
+        assert mapped == len(program.layers)
+        assert len(stages) == 4
+
+    def test_contiguous_partition_covers_all_layers(self, complex_, program):
+        stages = complex_.partition_stages(program, 4)
+        mapped = sum(len(s.layer_names) for s in stages)
+        assert mapped == len(program.layers)
+        assert len(stages) == 4
+
+    def test_partition_reasonably_balanced(self, complex_, compiler):
+        program = compiler.compile(zoo.resnet18(56))
+        stages = complex_.partition_stages(program, 4)
+        busy = [
+            max(s.compute_cycles, complex_.dram.transfer_cycles(s.dma_bytes))
+            for s in stages
+        ]
+        assert max(busy) < 3.5 * (sum(busy) / len(busy))
+
+    def test_too_many_cores_rejected(self, complex_, program):
+        with pytest.raises(ConfigError):
+            complex_.map_interleaved(program, 99)
+
+    def test_crossings_single_core_is_empty(self, complex_, program):
+        assert complex_.crossing_bytes(program, 1) == []
+
+    def test_crossings_interleaved_all_edges(self, complex_, program):
+        crossings = complex_.crossing_bytes(program, 4)
+        assert len(crossings) == len(program.layers) - 1
+
+
+class TestPipeline:
+    def test_methods_ordering(self, complex_, program):
+        base = complex_.run_pipeline(program, 4, "unauthorized")
+        peephole = complex_.run_pipeline(program, 4, "peephole")
+        software = complex_.run_pipeline(program, 4, "software")
+        assert peephole.e2e_cycles == base.e2e_cycles
+        assert software.e2e_cycles > base.e2e_cycles
+
+    def test_more_frames_amortize_latency(self, complex_, program):
+        one = complex_.run_pipeline(program, 4, "peephole", frames=1)
+        eight = complex_.run_pipeline(program, 4, "peephole", frames=8)
+        assert eight.e2e_cycles > one.e2e_cycles
+        assert eight.e2e_cycles < 8 * one.e2e_cycles
+
+    def test_unknown_method(self, complex_, program):
+        with pytest.raises(ConfigError):
+            complex_.run_pipeline(program, 4, "telepathy")
+
+    def test_zero_frames_rejected(self, complex_, program):
+        with pytest.raises(ConfigError):
+            complex_.run_pipeline(program, 4, "peephole", frames=0)
+
+    def test_normalized_to(self, complex_, program):
+        base = complex_.run_pipeline(program, 4, "unauthorized")
+        software = complex_.run_pipeline(program, 4, "software")
+        assert software.normalized_to(base) < 1.0
+
+    def test_all_methods_defined(self):
+        assert set(NOC_METHODS) == {"unauthorized", "peephole", "software"}
+
+    def test_interval_at_least_compute_bound(self, complex_, program):
+        result = complex_.run_pipeline(program, 4, "peephole")
+        assert result.frame_interval >= max(
+            s.compute_cycles for s in result.stages
+        )

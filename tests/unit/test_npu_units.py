@@ -1,0 +1,157 @@
+"""Unit tests for NPUConfig, the systolic array and the DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import DmaRequest, World
+from repro.errors import AccessViolation, ConfigError
+from repro.memory.dram import DRAMModel
+from repro.mmu.base import NoProtection
+from repro.npu.config import NPUConfig
+from repro.npu.dma import DMAEngine
+from repro.npu.isa import SpadTransfer
+from repro.npu.scratchpad import Scratchpad
+from repro.npu.systolic import SystolicArray
+
+
+class TestNPUConfig:
+    def test_paper_default_matches_table2(self):
+        cfg = NPUConfig.paper_default()
+        assert cfg.array_dim == 16
+        assert cfg.spad_bytes == 256 * 1024
+        assert cfg.num_cores == 10
+        assert cfg.l2_bytes == 2 * 1024 * 1024
+        assert cfg.l2_banks == 8
+        assert cfg.dram_gbps == 16.0
+        assert cfg.freq_ghz == 1.0
+
+    def test_derived_properties(self):
+        cfg = NPUConfig.paper_default()
+        assert cfg.spad_lines == 256 * 1024 // 16
+        assert cfg.acc_lines == 64 * 1024 // 64
+        assert cfg.peak_macs_per_cycle == 256
+
+    def test_with_(self):
+        cfg = NPUConfig.paper_default().with_(array_dim=32)
+        assert cfg.array_dim == 32
+        assert cfg.spad_bytes == 256 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NPUConfig(array_dim=0)
+        with pytest.raises(ConfigError):
+            NPUConfig(spad_bytes=100, spad_line_bytes=16)
+        with pytest.raises(ConfigError):
+            NPUConfig(dram_bytes_per_cycle=0)
+
+    def test_scrub_cycles(self):
+        cfg = NPUConfig.paper_default()
+        assert cfg.scrub_cycles(160) == 10.0
+
+
+class TestSystolicArray:
+    @pytest.fixture
+    def array(self) -> SystolicArray:
+        return SystolicArray(NPUConfig.paper_default())
+
+    def test_single_tile_cycles(self, array):
+        # One 16x16x16 tile: one weight preload + 16 row streams + drain.
+        assert array.gemm_block_cycles(16, 16, 16) == 16 + 16 + 16
+
+    def test_cycles_scale_with_weight_tiles(self, array):
+        one = array.gemm_block_cycles(16, 16, 16)
+        four = array.gemm_block_cycles(16, 32, 32)
+        assert four == pytest.approx(4 * (one - 16) + 16)
+
+    def test_mac_count_unpadded(self, array):
+        assert array.gemm_block_macs(3, 5, 7) == 105
+
+    def test_degenerate_rejected(self, array):
+        with pytest.raises(ConfigError):
+            array.gemm_block_cycles(0, 16, 16)
+
+    def test_vector_cycles(self, array):
+        assert array.vector_cycles(16) == 1
+        assert array.vector_cycles(17) == 2
+        assert array.vector_cycles(0) == 0
+
+    def test_functional_matmul(self, array):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int8)
+        b = np.array([[5, 6], [7, 8]], dtype=np.int8)
+        assert (array.matmul(a, b) == a.astype(np.int32) @ b.astype(np.int32)).all()
+
+    def test_matmul_shape_mismatch(self, array):
+        with pytest.raises(ConfigError):
+            array.matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_busy_accounting(self, array):
+        array.record(100.0, 4096)
+        assert array.busy_cycles == 100.0
+        assert array.macs_done == 4096
+
+
+class TestDMAEngine:
+    @pytest.fixture
+    def setup(self):
+        cfg = NPUConfig.paper_default()
+        dram = DRAMModel(cfg.dram_bytes_per_cycle)
+        spad = Scratchpad(1024, cfg.spad_line_bytes)
+        dma = DMAEngine(
+            cfg, NoProtection(), dram, scratchpad=spad, functional=True
+        )
+        return cfg, dram, spad, dma
+
+    def test_timing(self, setup):
+        cfg, dram, spad, dma = setup
+        req = DmaRequest(vaddr=0x8000_0000, size=1600, is_write=False)
+        cycles = dma.execute(SpadTransfer(request=req, spad_line=0, lines=100))
+        assert cycles == DMAEngine.ISSUE_CYCLES + 1600 / 16.0
+
+    def test_share_slows_transfer(self, setup):
+        cfg, dram, spad, dma = setup
+        req = DmaRequest(vaddr=0x8000_0000, size=1600, is_write=False)
+        t = SpadTransfer(request=req, spad_line=0, lines=100)
+        assert dma.execute(t, share=0.5) > dma.execute(t, share=1.0)
+
+    def test_functional_load(self, setup):
+        cfg, dram, spad, dma = setup
+        dram.write(0x8000_0000, bytes(range(32)))
+        req = DmaRequest(vaddr=0x8000_0000, size=32, is_write=False)
+        dma.execute(SpadTransfer(request=req, spad_line=4, lines=2))
+        assert spad.read(4, 2, World.NORMAL).reshape(-1).tolist() == list(range(32))
+
+    def test_functional_store(self, setup):
+        cfg, dram, spad, dma = setup
+        spad.write(0, np.arange(32, dtype=np.uint8), World.NORMAL)
+        req = DmaRequest(vaddr=0x9000_0000, size=32, is_write=True)
+        dma.execute(SpadTransfer(request=req, spad_line=0, lines=2))
+        assert dram.read(0x9000_0000, 32) == bytes(range(32))
+
+    def test_stats(self, setup):
+        cfg, dram, spad, dma = setup
+        req = DmaRequest(
+            vaddr=0x8000_0000, size=128, is_write=False, sub_requests=2
+        )
+        dma.execute(SpadTransfer(request=req, spad_line=0, lines=8))
+        assert dma.stats.requests == 2
+        assert dma.stats.packets == 2
+        assert dma.stats.bytes_in == 128
+
+    def test_blocked_transfer_moves_nothing(self, setup):
+        cfg, dram, spad, dma = setup
+
+        class Deny(NoProtection):
+            def handle(self, request):
+                raise AccessViolation("denied")
+
+        dma.controller = Deny()
+        dram.write(0x8000_0000, b"\xff" * 16)
+        req = DmaRequest(vaddr=0x8000_0000, size=16, is_write=False)
+        with pytest.raises(AccessViolation):
+            dma.execute(SpadTransfer(request=req, spad_line=0, lines=1))
+        assert (spad.raw_peek(0, 1) == 0).all()
+
+    def test_functional_requires_scratchpad(self):
+        cfg = NPUConfig.paper_default()
+        with pytest.raises(ConfigError):
+            DMAEngine(cfg, NoProtection(), DRAMModel(16), functional=True)

@@ -1,0 +1,101 @@
+"""Tests for preemptive scheduling and attestation quotes."""
+
+import pytest
+
+from repro.common.types import World
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.errors import ConfigError
+from repro.memory.dram import DRAMModel
+from repro.memory.regions import MemoryMap
+from repro.mmu.guarder import NPUGuarder
+from repro.monitor.monitor import NPUMonitor
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.workloads import zoo
+from repro.workloads.synthetic import synthetic_mlp
+
+
+@pytest.fixture
+def scheduler(config) -> MultiTaskScheduler:
+    return MultiTaskScheduler(config)
+
+
+class TestPreemptiveCorun:
+    def test_high_priority_waits_for_quantum(self, scheduler):
+        res = scheduler.preemptive_corun(
+            zoo.yololite(56), zoo.resnet18(56), "layer"
+        )
+        assert res.wait_cycles > 0
+        assert res.high_latency > scheduler.run(zoo.yololite(56)).cycles
+
+    def test_finer_granularity_cuts_the_wait(self, scheduler):
+        high, low = zoo.yololite(56), zoo.resnet18(56)
+        tile = scheduler.preemptive_corun(high, low, "tile")
+        coarse = scheduler.preemptive_corun(high, low, "layer5")
+        assert tile.wait_cycles < coarse.wait_cycles
+
+    def test_low_task_pays_the_preemption(self, scheduler):
+        res = scheduler.preemptive_corun(
+            zoo.yololite(56), zoo.resnet18(56), "layer"
+        )
+        assert res.low_slowdown > 1.0
+        assert res.low_completion > res.low_solo
+
+    def test_arrival_fraction_validated(self, scheduler):
+        with pytest.raises(ConfigError):
+            scheduler.preemptive_corun(
+                synthetic_mlp(), synthetic_mlp(), "layer", arrival_fraction=1.0
+            )
+
+    def test_late_arrival_waits_less_total_low_work(self, scheduler):
+        high, low = zoo.yololite(56), zoo.resnet18(56)
+        early = scheduler.preemptive_corun(high, low, "layer", 0.1)
+        late = scheduler.preemptive_corun(high, low, "layer", 0.9)
+        # Later arrival -> less low-priority work remains afterwards.
+        assert late.low_completion <= early.low_completion + 1e6
+
+
+class TestAttestationQuote:
+    @pytest.fixture
+    def monitor(self, memmap, config) -> NPUMonitor:
+        guarder = NPUGuarder()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        monitor = NPUMonitor(memmap, guarder, [NPUCore(config, guarder, dram)])
+        monitor.boot()
+        return monitor
+
+    def test_quote_verifies(self, monitor):
+        nonce = b"verifier-nonce-123"
+        quote = monitor.quote(nonce)
+        assert NPUMonitor.verify_quote(quote, NPUMonitor.DEVICE_KEY, nonce)
+
+    def test_quote_binds_nonce(self, monitor):
+        quote = monitor.quote(b"nonce-a")
+        assert not NPUMonitor.verify_quote(
+            quote, NPUMonitor.DEVICE_KEY, b"nonce-b"
+        )
+
+    def test_quote_binds_task_measurement(self, monitor, compiler):
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        nonce = b"n"
+        quote = monitor.quote(nonce, task_measurement=program.measurement())
+        assert quote["task_measurement"] == program.measurement()
+        # Tampering with the reported measurement breaks the signature.
+        quote["task_measurement"] = b"\x00" * 32
+        assert not NPUMonitor.verify_quote(
+            quote, NPUMonitor.DEVICE_KEY, nonce
+        )
+
+    def test_wrong_device_key_rejected(self, monitor):
+        nonce = b"n"
+        quote = monitor.quote(nonce)
+        assert not NPUMonitor.verify_quote(quote, b"forged-key", nonce)
+
+    def test_quote_requires_boot(self, memmap, config):
+        guarder = NPUGuarder()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        monitor = NPUMonitor(memmap, guarder, [NPUCore(config, guarder, dram)])
+        from repro.errors import PrivilegeError
+
+        with pytest.raises(PrivilegeError):
+            monitor.quote(b"n")

@@ -1,0 +1,180 @@
+"""Unit tests for the ID-based scratchpad (the Isolator's rules, §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import World
+from repro.errors import (
+    ConfigError,
+    PartitionViolation,
+    PrivilegeError,
+    ScratchpadIsolationError,
+)
+from repro.npu.scratchpad import Scratchpad, SpadIsolationMode
+
+
+def lines(n, line_bytes=16, fill=0xAB) -> np.ndarray:
+    return np.full((n, line_bytes), fill, dtype=np.uint8)
+
+
+@pytest.fixture
+def local_spad() -> Scratchpad:
+    return Scratchpad(256, 16, mode=SpadIsolationMode.ID_BASED, shared=False)
+
+
+@pytest.fixture
+def global_spad() -> Scratchpad:
+    return Scratchpad(256, 16, mode=SpadIsolationMode.ID_BASED, shared=True)
+
+
+class TestUnprotected:
+    def test_residue_readable_by_anyone(self):
+        spad = Scratchpad(64, 16, mode=SpadIsolationMode.NONE)
+        spad.write(0, lines(2), World.SECURE)
+        leaked = spad.read(0, 2, World.NORMAL)
+        assert (leaked == 0xAB).all()
+
+
+class TestLocalSpadRules:
+    def test_write_sets_id_state(self, local_spad):
+        local_spad.write(10, lines(4), World.SECURE)
+        assert (local_spad.id_state[10:14] == 1).all()
+        assert local_spad.secure_lines == 4
+
+    def test_read_requires_matching_id(self, local_spad):
+        local_spad.write(0, lines(2), World.SECURE)
+        with pytest.raises(ScratchpadIsolationError):
+            local_spad.read(0, 2, World.NORMAL)
+
+    def test_owner_can_read_back(self, local_spad):
+        local_spad.write(0, lines(2), World.SECURE)
+        data = local_spad.read(0, 2, World.SECURE)
+        assert (data == 0xAB).all()
+
+    def test_secure_cannot_read_normal_lines(self, local_spad):
+        # Read rule is symmetric on the local scratchpad: ID must match.
+        local_spad.write(0, lines(1), World.NORMAL)
+        with pytest.raises(ScratchpadIsolationError):
+            local_spad.read(0, 1, World.SECURE)
+
+    def test_forcible_overwrite_flips_id(self, local_spad):
+        local_spad.write(0, lines(2), World.SECURE)
+        local_spad.write(0, lines(2, fill=0x00), World.NORMAL)
+        assert (local_spad.id_state[0:2] == 0).all()
+        # And the secure data is gone - overwritten, not leaked.
+        assert (local_spad.read(0, 2, World.NORMAL) == 0).all()
+
+    def test_partial_overlap_read_rejected(self, local_spad):
+        local_spad.write(0, lines(1), World.SECURE)
+        local_spad.write(1, lines(1), World.NORMAL)
+        with pytest.raises(ScratchpadIsolationError):
+            local_spad.read(0, 2, World.NORMAL)
+
+
+class TestGlobalSpadRules:
+    def test_nonsecure_read_of_secure_rejected(self, global_spad):
+        global_spad.write(0, lines(2), World.SECURE)
+        with pytest.raises(ScratchpadIsolationError):
+            global_spad.read(0, 2, World.NORMAL)
+
+    def test_nonsecure_write_of_secure_rejected(self, global_spad):
+        global_spad.write(0, lines(2), World.SECURE)
+        with pytest.raises(ScratchpadIsolationError):
+            global_spad.write(0, lines(2, fill=0), World.NORMAL)
+
+    def test_secure_access_promotes_lines(self, global_spad):
+        global_spad.write(0, lines(2), World.NORMAL)
+        global_spad.read(0, 2, World.SECURE)
+        assert (global_spad.id_state[0:2] == 1).all()
+
+    def test_normal_lines_free_for_normal_world(self, global_spad):
+        global_spad.write(0, lines(2), World.NORMAL)
+        data = global_spad.read(0, 2, World.NORMAL)
+        assert (data == 0xAB).all()
+
+
+class TestSecureInstructions:
+    def test_reset_secure_downgrades_and_scrubs(self, local_spad):
+        local_spad.write(0, lines(4), World.SECURE)
+        local_spad.reset_secure(0, 4, issuer=World.SECURE)
+        assert (local_spad.id_state[0:4] == 0).all()
+        # The downgrade scrubbed the contents.
+        assert (local_spad.read(0, 4, World.NORMAL) == 0).all()
+
+    def test_reset_secure_is_privileged(self, local_spad):
+        with pytest.raises(PrivilegeError):
+            local_spad.reset_secure(0, 4, issuer=World.NORMAL)
+
+    def test_partition_boundary_is_privileged(self):
+        spad = Scratchpad(64, 16, mode=SpadIsolationMode.PARTITION)
+        with pytest.raises(PrivilegeError):
+            spad.set_partition(32, issuer=World.NORMAL)
+
+    def test_flush_all(self, local_spad):
+        local_spad.write(0, lines(8), World.SECURE)
+        assert local_spad.flush_all() == 256
+        assert local_spad.secure_lines == 0
+        assert (local_spad.raw_peek(0, 8) == 0).all()
+
+
+class TestPartitionMode:
+    @pytest.fixture
+    def spad(self) -> Scratchpad:
+        spad = Scratchpad(64, 16, mode=SpadIsolationMode.PARTITION)
+        spad.set_partition(32, issuer=World.SECURE)
+        return spad
+
+    def test_secure_below_boundary(self, spad):
+        spad.write(0, lines(32), World.SECURE)
+        with pytest.raises(PartitionViolation):
+            spad.write(32, lines(1), World.SECURE)
+
+    def test_normal_above_boundary(self, spad):
+        spad.write(32, lines(32), World.NORMAL)
+        with pytest.raises(PartitionViolation):
+            spad.read(31, 1, World.NORMAL)
+
+    def test_straddling_access_rejected(self, spad):
+        with pytest.raises(PartitionViolation):
+            spad.write(30, lines(4), World.SECURE)
+
+    def test_boundary_out_of_range(self, spad):
+        with pytest.raises(ConfigError):
+            spad.set_partition(65, issuer=World.SECURE)
+
+
+class TestGeometryAndErrors:
+    def test_out_of_range_access(self, local_spad):
+        with pytest.raises(ConfigError):
+            local_spad.read(255, 2, World.NORMAL)
+        with pytest.raises(ConfigError):
+            local_spad.write(-1, lines(1), World.NORMAL)
+
+    def test_flat_payload_reshaped(self, local_spad):
+        flat = np.arange(32, dtype=np.uint8)
+        local_spad.write(0, flat, World.NORMAL)
+        assert (local_spad.read(0, 2, World.NORMAL).reshape(-1) == flat).all()
+
+    def test_ragged_payload_rejected(self, local_spad):
+        with pytest.raises(ConfigError):
+            local_spad.write(0, np.zeros(17, dtype=np.uint8), World.NORMAL)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            Scratchpad(0, 16)
+
+    def test_stats_counted(self, local_spad):
+        local_spad.write(0, lines(4), World.NORMAL)
+        local_spad.read(0, 4, World.NORMAL)
+        assert local_spad.writes == 4
+        assert local_spad.reads == 4
+
+    def test_violations_counted(self, local_spad):
+        local_spad.write(0, lines(1), World.SECURE)
+        with pytest.raises(ScratchpadIsolationError):
+            local_spad.read(0, 1, World.NORMAL)
+        assert local_spad.violations == 1
+
+    def test_raw_peek_bypasses_checks(self, local_spad):
+        local_spad.write(0, lines(1), World.SECURE)
+        assert (local_spad.raw_peek(0, 1) == 0xAB).all()

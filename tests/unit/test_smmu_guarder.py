@@ -1,0 +1,197 @@
+"""Unit tests for the TrustZone sMMU and the NPU Guarder."""
+
+import pytest
+
+from repro.common.types import (
+    AddressRange,
+    DmaRequest,
+    PAGE_SIZE,
+    Permission,
+    World,
+)
+from repro.errors import (
+    AccessViolation,
+    ConfigError,
+    PrivilegeError,
+    TranslationFault,
+)
+from repro.memory.pagetable import PageTable
+from repro.mmu.smmu import TrustZoneSMMU
+from repro.mmu.guarder import NPUGuarder
+
+
+def make_smmu() -> TrustZoneSMMU:
+    table = PageTable()
+    table.map_range(0, 0x100000, 4 * PAGE_SIZE, world=World.NORMAL)
+    table.map_range(
+        0x10000, 0x200000, 4 * PAGE_SIZE, world=World.SECURE
+    )
+    return TrustZoneSMMU(table, iotlb_entries=8)
+
+
+class TestTrustZoneSMMU:
+    def test_device_starts_normal(self):
+        assert make_smmu().device_world is World.NORMAL
+
+    def test_normal_device_blocked_from_secure_pages(self):
+        smmu = make_smmu()
+        with pytest.raises(AccessViolation):
+            smmu.handle(DmaRequest(vaddr=0x10000, size=64, is_write=False))
+
+    def test_secure_device_reaches_both_worlds(self):
+        smmu = make_smmu()
+        smmu.switch_world(World.SECURE)
+        smmu.handle(DmaRequest(vaddr=0x10000, size=64, is_write=False))
+        smmu.handle(DmaRequest(vaddr=0, size=64, is_write=False))
+
+    def test_secure_task_on_normal_device_rejected(self):
+        smmu = make_smmu()
+        with pytest.raises(AccessViolation):
+            smmu.handle(
+                DmaRequest(vaddr=0, size=64, is_write=False, world=World.SECURE)
+            )
+
+    def test_world_switch_shoots_down_iotlb(self):
+        smmu = make_smmu()
+        smmu.handle(DmaRequest(vaddr=0, size=64, is_write=False))
+        assert smmu.iotlb.occupancy == 1
+        smmu.switch_world(World.SECURE)
+        assert smmu.iotlb.occupancy == 0
+        assert smmu.world_switches == 1
+
+    def test_redundant_switch_is_noop(self):
+        smmu = make_smmu()
+        smmu.switch_world(World.NORMAL)
+        assert smmu.world_switches == 0
+
+
+@pytest.fixture
+def guarder() -> NPUGuarder:
+    g = NPUGuarder()
+    g.set_checking_register(
+        0, AddressRange(0x100000, 0x10000), Permission.RW, World.NORMAL,
+        issuer=World.SECURE,
+    )
+    g.set_checking_register(
+        1, AddressRange(0x200000, 0x10000), Permission.RW, World.SECURE,
+        issuer=World.SECURE,
+    )
+    g.set_translation_register(0, vbase=0x1000, pbase=0x100000, size=0x8000)
+    g.set_translation_register(1, vbase=0x9000, pbase=0x200000, size=0x8000)
+    return g
+
+
+class TestGuarder:
+    def test_translation(self, guarder):
+        out = guarder.handle(DmaRequest(vaddr=0x1100, size=64, is_write=False))
+        assert out.paddr == 0x100100
+
+    def test_one_check_per_descriptor(self, guarder):
+        req = DmaRequest(vaddr=0x1000, size=4096, is_write=False)
+        guarder.handle(req)
+        assert guarder.stats.translations == 1
+        assert guarder.stats.checks == 1
+
+    def test_sub_requests_counted(self, guarder):
+        req = DmaRequest(
+            vaddr=0x1000, size=4096, is_write=False, sub_requests=8
+        )
+        guarder.handle(req)
+        assert guarder.stats.translations == 8
+
+    def test_zero_extra_cycles(self, guarder):
+        out = guarder.handle(DmaRequest(vaddr=0x1000, size=4096, is_write=False))
+        assert out.extra_cycles == 0.0
+
+    def test_unmapped_vaddr_faults(self, guarder):
+        with pytest.raises(TranslationFault):
+            guarder.handle(DmaRequest(vaddr=0x50000, size=64, is_write=False))
+
+    def test_request_crossing_register_boundary_faults(self, guarder):
+        with pytest.raises(TranslationFault):
+            guarder.handle(
+                DmaRequest(vaddr=0x8fff, size=128, is_write=False)
+            )
+
+    def test_normal_world_blocked_from_secure_region(self, guarder):
+        with pytest.raises(AccessViolation):
+            guarder.handle(
+                DmaRequest(vaddr=0x9000, size=64, is_write=False,
+                           world=World.NORMAL)
+            )
+        assert guarder.stats.violations == 1
+
+    def test_secure_world_reaches_secure_region(self, guarder):
+        guarder.handle(
+            DmaRequest(vaddr=0x9000, size=64, is_write=False,
+                       world=World.SECURE)
+        )
+
+    def test_secure_world_reaches_normal_region(self, guarder):
+        guarder.handle(
+            DmaRequest(vaddr=0x1000, size=64, is_write=False,
+                       world=World.SECURE)
+        )
+
+    def test_default_deny_uncovered_physical(self):
+        g = NPUGuarder()
+        g.set_translation_register(0, vbase=0, pbase=0x900000, size=0x1000)
+        with pytest.raises(AccessViolation):
+            g.handle(DmaRequest(vaddr=0, size=64, is_write=False))
+
+    def test_permission_enforced(self):
+        g = NPUGuarder()
+        g.set_checking_register(
+            0, AddressRange(0, 0x1000), Permission.READ, World.NORMAL,
+            issuer=World.SECURE,
+        )
+        g.set_translation_register(0, vbase=0, pbase=0, size=0x1000)
+        g.handle(DmaRequest(vaddr=0, size=64, is_write=False))
+        with pytest.raises(AccessViolation):
+            g.handle(DmaRequest(vaddr=0, size=64, is_write=True))
+
+    def test_strided_runs_translated(self, guarder):
+        req = DmaRequest(
+            vaddr=0x1000, size=2 * 64, is_write=False,
+            rows=2, row_bytes=64, row_stride=0x100,
+        )
+        out = guarder.handle(req)
+        assert out.runs == [(0x100000, 64), (0x100100, 64)]
+
+    def test_checking_register_is_privileged(self):
+        g = NPUGuarder()
+        with pytest.raises(PrivilegeError):
+            g.set_checking_register(
+                0, AddressRange(0, 16), Permission.RW, World.NORMAL,
+                issuer=World.NORMAL,
+            )
+        with pytest.raises(PrivilegeError):
+            g.clear_checking_register(0, issuer=World.NORMAL)
+
+    def test_translation_register_writable_by_driver(self):
+        g = NPUGuarder()
+        g.set_translation_register(2, vbase=0, pbase=0, size=64)
+        assert g.translation_writes == 1
+        g.clear_translation_register(2)
+        assert g.translation[2] is None
+
+    def test_register_index_bounds(self):
+        g = NPUGuarder(num_checking=2, num_translation=2)
+        with pytest.raises(ConfigError):
+            g.set_translation_register(2, 0, 0, 64)
+        with pytest.raises(ConfigError):
+            g.set_checking_register(
+                5, AddressRange(0, 16), Permission.RW, World.NORMAL,
+                issuer=World.SECURE,
+            )
+
+    def test_invalid_sizes(self):
+        g = NPUGuarder()
+        with pytest.raises(ConfigError):
+            g.set_translation_register(0, 0, 0, 0)
+        with pytest.raises(ConfigError):
+            NPUGuarder(num_checking=0)
+
+    def test_clear_all_translations(self, guarder):
+        guarder.clear_all_translations()
+        assert all(reg is None for reg in guarder.translation)

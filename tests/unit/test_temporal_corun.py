@@ -1,0 +1,111 @@
+"""Unit tests for temporal co-run scheduling and the extra workloads."""
+
+import pytest
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.errors import ConfigError
+from repro.workloads import zoo
+from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
+
+
+@pytest.fixture
+def scheduler(config) -> MultiTaskScheduler:
+    return MultiTaskScheduler(config)
+
+
+class TestTemporalCorun:
+    def test_both_tasks_finish(self, scheduler):
+        res = scheduler.temporal_corun(synthetic_mlp(), synthetic_cnn(), "layer")
+        assert res.t_a > 0 and res.t_b > 0
+        assert res.makespan == max(res.t_a, res.t_b)
+
+    def test_corun_slower_than_solo(self, scheduler):
+        res = scheduler.temporal_corun(synthetic_mlp(), synthetic_cnn(), "layer")
+        assert res.norm_a > 1.0
+        assert res.norm_b > 1.0
+
+    def test_finer_granularity_switches_more(self, scheduler):
+        a, b = zoo.yololite(56), zoo.mobilenet(56)
+        tile = scheduler.temporal_corun(a, b, "tile")
+        layer5 = scheduler.temporal_corun(a, b, "layer5")
+        assert tile.switches > layer5.switches
+
+    def test_finer_granularity_costs_more_makespan(self, scheduler):
+        a, b = zoo.yololite(56), zoo.mobilenet(56)
+        tile = scheduler.temporal_corun(a, b, "tile")
+        layer5 = scheduler.temporal_corun(a, b, "layer5")
+        assert tile.makespan > layer5.makespan
+
+    def test_makespan_at_least_sum_of_work(self, scheduler):
+        a, b = synthetic_mlp(), synthetic_cnn()
+        res = scheduler.temporal_corun(a, b, "layer")
+        assert res.makespan >= res.t_a_solo + res.t_b_solo
+
+    def test_unknown_granularity(self, scheduler):
+        with pytest.raises(ConfigError):
+            scheduler.temporal_corun(synthetic_mlp(), synthetic_cnn(), "epoch")
+
+    def test_granularity_trades_waits_for_switch_overhead(self, scheduler):
+        # The Fig. 14 dilemma in one place: finer quanta mean shorter
+        # worst-case waits for a newly arrived task (better SLA) but a
+        # longer co-run makespan (more flush overhead).
+        a, b = zoo.yololite(56), zoo.resnet18(56)
+        tile_wait = scheduler.preemption_stats(b, "tile").worst_wait_cycles
+        coarse_wait = scheduler.preemption_stats(b, "layer5").worst_wait_cycles
+        assert tile_wait < coarse_wait
+        tile_run = scheduler.temporal_corun(a, b, "tile")
+        coarse_run = scheduler.temporal_corun(a, b, "layer5")
+        assert tile_run.makespan > coarse_run.makespan
+
+
+class TestExtraWorkloads:
+    def test_vgg16_shape(self):
+        model = zoo.vgg16(224)
+        # VGG-16 at 224 is ~15.5 GMACs.
+        assert 12e9 < model.total_macs < 19e9
+        assert len([k for k in model.lower()]) == 21
+
+    def test_vgg16_compiles_and_runs(self, scheduler):
+        result = scheduler.run(zoo.vgg16(56))
+        assert result.cycles > 0
+
+    def test_gpt_decoder_shape(self):
+        model = zoo.gpt_decoder(seq_len=128, layers=6)
+        assert model.total_macs > 1e9
+        names = [layer.name for layer in model.layers]
+        assert any("qkv" in n for n in names)
+        assert any("softmax" in n for n in names)
+
+    def test_gpt_compiles_and_runs(self, scheduler):
+        result = scheduler.run(zoo.gpt_decoder(seq_len=64, layers=2))
+        assert 0 < result.utilization < 1
+
+    def test_gpt_validation(self):
+        with pytest.raises(ConfigError):
+            zoo.gpt_decoder(hidden=100, heads=12)
+
+    def test_builders_registry_contains_extras(self):
+        assert "vgg16" in zoo.MODEL_BUILDERS
+        assert "gpt" in zoo.MODEL_BUILDERS
+
+
+class TestValidation:
+    def test_all_paths_consistent(self):
+        from repro.validation import validate_timing_paths
+
+        rows = validate_timing_paths("tiny")
+        assert len(rows) == 6
+        for row in rows:
+            assert row.ok, str(row)
+
+    def test_validate_all_prints_and_passes(self, capsys):
+        from repro.validation import validate_all
+
+        assert validate_all("tiny")
+        out = capsys.readouterr().out
+        assert "all consistent" in out
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0

@@ -1,0 +1,163 @@
+"""Unit tests for the primitive architectural types."""
+
+import pytest
+
+from repro.common.types import (
+    AddressRange,
+    CheckStats,
+    DmaRequest,
+    MemoryPacket,
+    PACKET_BYTES,
+    PAGE_SIZE,
+    Permission,
+    World,
+    align_down,
+    align_up,
+    page_of,
+    pages_of_range,
+)
+from repro.errors import ConfigError
+
+
+class TestWorld:
+    def test_values_match_id_bit(self):
+        assert int(World.NORMAL) == 0
+        assert int(World.SECURE) == 1
+
+    def test_is_secure(self):
+        assert World.SECURE.is_secure
+        assert not World.NORMAL.is_secure
+
+
+class TestPermission:
+    def test_rw_allows_read_and_write(self):
+        assert Permission.RW.allows(Permission.READ)
+        assert Permission.RW.allows(Permission.WRITE)
+        assert Permission.RW.allows(Permission.RW)
+
+    def test_read_only_denies_write(self):
+        assert not Permission.READ.allows(Permission.WRITE)
+        assert not Permission.READ.allows(Permission.RW)
+
+    def test_none_denies_everything_but_none(self):
+        assert not Permission.NONE.allows(Permission.READ)
+        assert Permission.NONE.allows(Permission.NONE)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+        assert align_down(0, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+        assert align_up(1, 64) == 64
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_pages_of_range_within_one_page(self):
+        assert pages_of_range(100, 200) == [0]
+
+    def test_pages_of_range_crossing(self):
+        assert pages_of_range(PAGE_SIZE - 1, 2) == [0, 1]
+
+    def test_pages_of_range_empty(self):
+        assert pages_of_range(123, 0) == []
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(0x1000, 0x1000)
+        assert r.contains(0x1000)
+        assert r.contains(0x1fff)
+        assert not r.contains(0x2000)
+        assert r.contains(0x1800, 0x800)
+        assert not r.contains(0x1800, 0x801)
+
+    def test_overlaps(self):
+        a = AddressRange(0, 100)
+        assert a.overlaps(AddressRange(99, 10))
+        assert not a.overlaps(AddressRange(100, 10))
+        assert a.overlaps(AddressRange(0, 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressRange(-1, 10)
+        with pytest.raises(ConfigError):
+            AddressRange(0, -1)
+
+    def test_end_and_iter(self):
+        r = AddressRange(10, 5)
+        assert r.end == 15
+        assert tuple(r) == (10, 5)
+
+
+class TestDmaRequest:
+    def test_contiguous_packets(self):
+        req = DmaRequest(vaddr=0, size=PACKET_BYTES * 3, is_write=False)
+        assert req.num_packets == 3
+
+    def test_partial_packet_rounds_up(self):
+        req = DmaRequest(vaddr=0, size=PACKET_BYTES + 1, is_write=False)
+        assert req.num_packets == 2
+
+    def test_strided_packets_per_row(self):
+        req = DmaRequest(
+            vaddr=0, size=4 * 100, is_write=False,
+            rows=4, row_bytes=100, row_stride=1024,
+        )
+        # ceil(100/64) = 2 packets per row, 4 rows.
+        assert req.num_packets == 8
+
+    def test_row_ranges(self):
+        req = DmaRequest(
+            vaddr=0x1000, size=2 * 64, is_write=False,
+            rows=2, row_bytes=64, row_stride=0x100,
+        )
+        assert req.row_ranges() == [(0x1000, 64), (0x1100, 64)]
+
+    def test_pages_deduplicated_in_order(self):
+        req = DmaRequest(
+            vaddr=0, size=2 * 64, is_write=False,
+            rows=2, row_bytes=64, row_stride=128,
+        )
+        assert req.pages() == [0]
+
+    def test_pages_strided_across_pages(self):
+        req = DmaRequest(
+            vaddr=0, size=2 * 64, is_write=False,
+            rows=2, row_bytes=64, row_stride=PAGE_SIZE,
+        )
+        assert req.pages() == [0, 1]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            DmaRequest(vaddr=0, size=0, is_write=False)
+
+    def test_multi_row_requires_row_bytes(self):
+        with pytest.raises(ConfigError):
+            DmaRequest(vaddr=0, size=10, is_write=False, rows=2)
+
+    def test_default_sub_requests(self):
+        req = DmaRequest(vaddr=0, size=64, is_write=False)
+        assert req.sub_requests == 1
+
+
+class TestMemoryPacket:
+    def test_page_property(self):
+        assert MemoryPacket(addr=PAGE_SIZE + 5, size=64, is_write=False).page == 1
+
+
+class TestCheckStats:
+    def test_merge_and_reset(self):
+        a = CheckStats(translations=1, checks=2, misses=3)
+        b = CheckStats(translations=10, checks=20, misses=30, violations=1)
+        a.merge(b)
+        assert (a.translations, a.checks, a.misses, a.violations) == (11, 22, 33, 1)
+        a.reset()
+        assert a.translations == 0 and a.violations == 0
