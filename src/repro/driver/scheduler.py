@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.memory.dram import DRAMModel
 from repro.mmu.base import NoProtection
@@ -138,6 +139,12 @@ class MultiTaskScheduler:
         self._core = NPUCore(config, NoProtection(), self.dram)
         self._compile_cache: Dict[Tuple[str, int], object] = {}
         self._time_cache: Dict[Tuple[str, int, float, Optional[str]], RunResult] = {}
+        tel = telemetry.metrics.group("driver.scheduler")
+        self._m_runs = tel.counter("runs")
+        self._m_switches = tel.counter("context_switches")
+        self._m_preemptions = tel.counter("preemptions")
+        self._m_coruns = tel.counter("coruns")
+        self._h_quantum = tel.histogram("quantum_cycles")
 
     # ------------------------------------------------------------------
     def compile_cached(self, model: ModelGraph, budget: int):
@@ -162,6 +169,7 @@ class MultiTaskScheduler:
             self._time_cache[key] = self._core.run_analytic(
                 program, share=share, flush=flush
             )
+        self._m_runs.inc()
         return self._time_cache[key]
 
     # ------------------------------------------------------------------
@@ -237,15 +245,29 @@ class MultiTaskScheduler:
         ia = ib = 0
         current = "a"
         switches = 0
+        self._m_coruns.inc()
+        tracer = telemetry.tracer
         while ia < len(quanta_a) or ib < len(quanta_b):
+            q_start = t
+            q_task = None
             if current == "a" and ia < len(quanta_a):
                 t += quanta_a[ia]
                 ia += 1
                 t_a = t
+                q_task = model_a.name
             elif ib < len(quanta_b):
                 t += quanta_b[ib]
                 ib += 1
                 t_b = t
+                q_task = model_b.name
+            if q_task is not None:
+                self._h_quantum.observe(t - q_start, cycle=q_start)
+                if tracer.enabled:
+                    tracer.span(
+                        f"quantum {q_task}", "scheduler", ts=q_start,
+                        dur=t - q_start, track="scheduler",
+                        granularity=granularity,
+                    )
             other_pending = (
                 ib < len(quanta_b) if current == "a" else ia < len(quanta_a)
             )
@@ -253,8 +275,14 @@ class MultiTaskScheduler:
                 ia < len(quanta_a) if current == "a" else ib < len(quanta_b)
             )
             if other_pending:
+                if tracer.enabled:
+                    tracer.span(
+                        "flush switch", "flush", ts=t, dur=switch_cost,
+                        track="scheduler",
+                    )
                 t += switch_cost
                 switches += 1
+                self._m_switches.inc()
                 current = "b" if current == "a" else "a"
             elif not self_pending:
                 break
@@ -325,6 +353,17 @@ class MultiTaskScheduler:
                 break
             elapsed += quantum
         wait += switch_cost
+        self._m_preemptions.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "preempt.arrival", "scheduler", ts=t_arrive, track="scheduler",
+                high=high.name, granularity=granularity,
+            )
+            tracer.span(
+                "preempt.wait", "scheduler", ts=t_arrive, dur=wait,
+                track="scheduler", high=high.name,
+            )
         t_high_done = t_arrive + wait + self.run(high).cycles
         remaining_low = sum(quanta_low[resume_index:])
         t_low_done = t_high_done + switch_cost + remaining_low
@@ -438,6 +477,14 @@ class MultiTaskScheduler:
             t_a = self._finish_with_switch(co_a, post_a, t_b)
             events.append(TimelineEvent(t_b, model_b.name, "finishes; A expands"))
         events.append(TimelineEvent(max(t_a, t_b), "both", "done"))
+        self._m_coruns.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            for ev in events:
+                tracer.instant(
+                    ev.what, "scheduler", ts=ev.time, track="scheduler",
+                    task=ev.task, policy=policy,
+                )
         return SpatialShareResult(
             policy=policy,
             split=split,

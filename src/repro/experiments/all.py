@@ -2,49 +2,97 @@
 
 Usage::
 
-    python -m repro.experiments.all [profile]
+    python -m repro.experiments.all [profile] [outdir]
 
 ``profile`` is ``eval`` (default, reduced resolution) or ``paper``
-(full input shapes; several times slower).
+(full input shapes; several times slower).  With ``outdir`` set, each
+experiment also writes ``<exp_id>.json`` (figure data) and
+``<exp_id>.metrics.json`` (the telemetry snapshot captured while it ran)
+into that directory.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.experiments import fig01, fig13, fig14, fig15, fig16, fig17, fig18
 from repro.experiments import sensitivity, table1, tcb
+from repro.experiments.runner import ExperimentResult
 
 
-def run_all(profile: str = "eval") -> None:
-    started = time.time()
-    print(fig01.run(profile))
-    print()
+def _fig13_all(profile: str) -> Tuple[ExperimentResult, ...]:
     perf, reqs = fig13.run(profile)
-    print(perf)
-    print()
-    print(reqs)
-    print()
-    print(fig13.run_energy(profile))
-    print()
-    print(fig14.run(profile))
-    print()
-    print(fig15.run(profile))
-    print()
-    print(fig16.run())
-    print()
-    print(fig17.run(profile))
-    print()
-    print(fig18.run())
-    print()
-    print(table1.run(profile))
-    print()
-    print(tcb.run())
-    print()
-    print(sensitivity.run(profile))
-    print(f"\n(all experiments in {time.time() - started:.1f}s, profile={profile})")
+    return perf, reqs
+
+
+#: Experiment registry: id -> callable(profile) returning one result or a
+#: tuple of results.  ``repro experiments`` and :func:`run_all` both
+#: dispatch through it, so every experiment gets the same telemetry wrap.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": fig01.run,
+    "fig13": _fig13_all,
+    "fig13-energy": fig13.run_energy,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": lambda profile: fig16.run(),
+    "fig17": fig17.run,
+    "fig18": lambda profile: fig18.run(),
+    "table1": table1.run,
+    "tcb": lambda profile: tcb.run(),
+    "sensitivity": sensitivity.run,
+}
+
+
+def run_one(
+    exp_id: str, profile: str = "eval", outdir: Optional[str] = None
+) -> List[ExperimentResult]:
+    """Run one experiment under a scoped telemetry registry.
+
+    Every simulator object the experiment constructs registers its metrics
+    into a fresh registry, so the snapshot attached to the result (and
+    written to ``<exp_id>.metrics.json``) covers exactly this experiment.
+    """
+    if exp_id == "access-paths":
+        from repro.experiments import access_paths
+
+        runner: Callable = access_paths.run
+    else:
+        runner = EXPERIMENTS[exp_id]
+    with telemetry.scoped(trace=False) as scope:
+        out = runner(profile)
+        snapshot = scope.metrics.snapshot()
+    results = list(out) if isinstance(out, tuple) else [out]
+    for result in results:
+        result.metrics = dict(snapshot)
+    if outdir:
+        from repro.experiments import export
+
+        os.makedirs(outdir, exist_ok=True)
+        for result in results:
+            export.write(result, os.path.join(outdir, f"{result.exp_id}.json"))
+        with open(os.path.join(outdir, f"{exp_id}.metrics.json"), "w") as fh:
+            json.dump(snapshot, fh, indent=2, default=str, sort_keys=True)
+    return results
+
+
+def run_all(profile: str = "eval", outdir: Optional[str] = None) -> None:
+    started = time.time()
+    for exp_id in EXPERIMENTS:
+        for result in run_one(exp_id, profile, outdir):
+            print(result)
+            print()
+    print(f"(all experiments in {time.time() - started:.1f}s, profile={profile})")
+    if outdir:
+        print(f"(figure data + metrics written to {outdir}/)")
 
 
 if __name__ == "__main__":
-    run_all(sys.argv[1] if len(sys.argv) > 1 else "eval")
+    run_all(
+        sys.argv[1] if len(sys.argv) > 1 else "eval",
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -18,6 +18,7 @@ def to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "columns": list(result.columns),
         "rows": [dict(row) for row in result.rows],
         "notes": list(result.notes),
+        "metrics": dict(result.metrics),
     }
 
 

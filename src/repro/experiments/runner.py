@@ -17,6 +17,9 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Telemetry snapshot captured while the experiment ran (see
+    #: :mod:`repro.telemetry`); populated by the experiment harness.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         missing = [c for c in self.columns if c not in values]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import telemetry
 from repro.common.types import PAGE_SIZE
 from repro.errors import ConfigError
 from repro.sim.resources import BandwidthResource
@@ -32,6 +33,12 @@ class DRAMModel:
         self._pages: Dict[int, bytearray] = {}
         self.reads = 0
         self.writes = 0
+        tel = telemetry.metrics.group("memory.dram")
+        tel.bind("reads", self, "reads")
+        tel.bind("writes", self, "writes")
+        tel.bind("bytes_moved", self.channel, "bytes_moved")
+        tel.bind("busy_cycles", self.channel, "busy_cycles")
+        tel.bind("resident_bytes", self, "resident_bytes")
 
     # ------------------------------------------------------------------
     # Functional access

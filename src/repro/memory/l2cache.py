@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Tuple
 
+from repro import telemetry
 from repro.common.types import DmaRequest, PAGE_SIZE
 from repro.errors import ConfigError
 
@@ -50,6 +51,13 @@ class L2Cache:
         self.misses = 0
         self.bytes_hit = 0.0
         self.bytes_missed = 0.0
+        tel = telemetry.metrics.group("memory.l2")
+        tel.bind("hits", self, "hits")
+        tel.bind("misses", self, "misses")
+        tel.bind("bytes_hit", self, "bytes_hit")
+        tel.bind("bytes_missed", self, "bytes_missed")
+        tel.bind("hit_rate", self, "hit_rate")
+        tel.bind("occupancy_sectors", self, "occupancy_sectors")
 
     # ------------------------------------------------------------------
     def _touch(self, sector: int) -> bool:

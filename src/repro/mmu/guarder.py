@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import telemetry
 from repro.common.types import AddressRange, DmaRequest, Permission, World
 from repro.errors import (
     AccessViolation,
@@ -91,6 +92,12 @@ class NPUGuarder(AccessController):
         #: Register reprogramming events (energy accounting; cheap but nonzero).
         self.checking_writes = 0
         self.translation_writes = 0
+        tel = telemetry.metrics.group("mmu.guarder")
+        tel.bind("translations", self.stats, "translations")
+        tel.bind("checks", self.stats, "checks")
+        tel.bind("denials", self.stats, "violations")
+        tel.bind("checking_writes", self, "checking_writes")
+        tel.bind("translation_writes", self, "translation_writes")
 
     # ------------------------------------------------------------------
     # Configuration (the secure controller / driver programs these)
@@ -116,6 +123,12 @@ class NPUGuarder(AccessController):
         self._check_index(index, self.checking, "checking")
         self.checking[index] = CheckingRegister(range=range_, perm=perm, world=world)
         self.checking_writes += 1
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "guarder.program_checking", "guarder", track="guarder",
+                index=index, world=world.name,
+            )
 
     def clear_checking_register(self, index: int, issuer: World = World.NORMAL) -> None:
         if issuer is not World.SECURE:
@@ -133,6 +146,12 @@ class NPUGuarder(AccessController):
             raise ConfigError(f"translation register size must be positive, got {size}")
         self.translation[index] = TranslationRegister(vbase=vbase, pbase=pbase, size=size)
         self.translation_writes += 1
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "guarder.program_translation", "guarder", track="guarder",
+                index=index, size=size,
+            )
 
     def clear_translation_register(self, index: int) -> None:
         self._check_index(index, self.translation, "translation")
@@ -156,10 +175,19 @@ class NPUGuarder(AccessController):
             if reg is not None and reg.covers(vaddr, size):
                 return reg
         self.stats.violations += 1
+        self._trace_denial("translation_miss", vaddr)
         raise TranslationFault(
             f"Guarder: no translation register covers "
             f"[{vaddr:#x}, {vaddr + size:#x})"
         )
+
+    def _trace_denial(self, reason: str, addr: int) -> None:
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "guarder.denial", "guarder", track="guarder",
+                reason=reason, addr=hex(addr),
+            )
 
     def _check_physical(self, paddr: int, size: int, request: DmaRequest) -> None:
         need = self.required_permission(request)
@@ -168,6 +196,7 @@ class NPUGuarder(AccessController):
                 if reg.allows(need, request.world):
                     return
                 self.stats.violations += 1
+                self._trace_denial("permission", paddr)
                 raise AccessViolation(
                     f"Guarder: checking register denies {need!r} by "
                     f"{request.world.name} at [{paddr:#x}, {paddr + size:#x}) "
@@ -175,6 +204,7 @@ class NPUGuarder(AccessController):
                 )
         # Default deny: a physical range no register covers is unreachable.
         self.stats.violations += 1
+        self._trace_denial("uncovered", paddr)
         raise AccessViolation(
             f"Guarder: no checking register covers [{paddr:#x}, {paddr + size:#x})"
         )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Optional
 
+from repro import telemetry
 from repro.common.types import (
     DmaRequest,
     PAGE_SIZE,
@@ -122,6 +123,17 @@ class IOMMU(AccessController):
         self.name = f"iommu-{iotlb_entries}"
         self._pending_walk_cycles = 0.0
         self._last_vpage = -2
+        tel = telemetry.metrics.group("mmu.iommu")
+        tel.bind("translations", self.stats, "translations")
+        tel.bind("checks", self.stats, "checks")
+        tel.bind("page_walks", self.stats, "page_walks")
+        tel.bind("walk_cycles", self.stats, "walk_cycles")
+        tel.bind("violations", self.stats, "violations")
+        tel.bind("iotlb_hits", self.iotlb, "hits")
+        tel.bind("iotlb_misses", self.iotlb, "misses")
+        tel.bind("iotlb_occupancy", self.iotlb, "occupancy")
+        #: Walk cursor: cumulative stall cycles, the walk spans' timebase.
+        self._walk_cursor = 0.0
 
     # ------------------------------------------------------------------
     def _world_allows(self, pte_world: World, request_world: World) -> bool:
@@ -140,6 +152,13 @@ class IOMMU(AccessController):
                 stall *= self.SEQUENTIAL_OVERLAP
             self.stats.walk_cycles += stall
             self._pending_walk_cycles += stall
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "iotlb.walk", "iotlb", ts=self._walk_cursor, dur=stall,
+                    track="iommu", vpage=vpage,
+                )
+            self._walk_cursor += stall
             pte = self.page_table.lookup(vpage)
             if pte is None:
                 self.stats.violations += 1
@@ -244,3 +263,8 @@ class IOMMU(AccessController):
     def invalidate_iotlb(self) -> None:
         """Full IOTLB shootdown (context switch / world switch)."""
         self.iotlb.invalidate()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "iotlb.shootdown", "iotlb", ts=self._walk_cursor, track="iommu"
+            )

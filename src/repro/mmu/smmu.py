@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro import telemetry
 from repro.common.types import DmaRequest, World
 from repro.errors import AccessViolation
 from repro.memory.pagetable import PageTable
@@ -42,6 +43,9 @@ class TrustZoneSMMU(IOMMU):
         self.device_world = World.NORMAL
         self.world_switches = 0
         self.name = f"tz-smmu-{iotlb_entries}"
+        telemetry.metrics.group("mmu.smmu").bind(
+            "world_switches", self, "world_switches"
+        )
 
     def switch_world(self, world: World) -> None:
         """Flip the device NS bit.
@@ -55,6 +59,12 @@ class TrustZoneSMMU(IOMMU):
             self.world_switches += 1
             self.invalidate_iotlb()
             self.device_world = world
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "smmu.world_switch", "world_switch", track="iommu",
+                    to=world.name,
+                )
 
     def handle(self, request: DmaRequest) -> TranslationOutcome:
         # The device has a single identity: a request "from a secure task"

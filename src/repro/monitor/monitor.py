@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.common.types import Permission, World
 from repro.errors import ConfigError, PrivilegeError
 from repro.memory.regions import MemoryMap
@@ -86,6 +87,11 @@ class NPUMonitor:
         self.trampoline = Trampoline()
         self._register_handlers()
         self.booted = False
+        tel = telemetry.metrics.group("monitor")
+        self._m_submitted = tel.counter("tasks_submitted")
+        self._m_scheduled = tel.counter("tasks_scheduled")
+        self._m_completed = tel.counter("tasks_completed")
+        tel.bind("queue_depth", self.queue, "__len__")
 
     # ------------------------------------------------------------------
     # Boot
@@ -138,6 +144,12 @@ class NPUMonitor:
             domain=domain,
         )
         self.queue.enqueue(task)
+        self._m_submitted.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "task.submit", "scheduler", track="monitor", task=task_id
+            )
         return task_id
 
     def schedule_next(self, core_ids: List[int]) -> ScheduledSecureTask:
@@ -158,6 +170,13 @@ class NPUMonitor:
         scheduled.xlat_registers[core_ids[0]] = regs
         for core_id in core_ids:
             self.context_setter.set_core_secure(self._core(core_id))
+        self._m_scheduled.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "task.schedule", "scheduler", track="monitor",
+                task=task.task_id, cores=list(core_ids),
+            )
         return scheduled
 
     def complete(self, scheduled: ScheduledSecureTask) -> None:
@@ -172,6 +191,13 @@ class NPUMonitor:
         if self.domains and scheduled.task.domain:
             self.domains.release(scheduled.task.domain)
         scheduled.task.chunks = {}
+        self._m_completed.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "task.complete", "scheduler", track="monitor",
+                task=scheduled.task.task_id,
+            )
 
     def attest(self) -> Dict[str, bytes]:
         """Return the secure boot measurement log (remote attestation)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import RouteIntegrityError
 from repro.monitor.task_queue import SecureTask
 from repro.noc.mesh import Mesh
@@ -27,6 +28,9 @@ class SecureLoader:
         self.mesh = mesh
         self.loads = 0
         self.rejections = 0
+        tel = telemetry.metrics.group("monitor.loader")
+        tel.bind("loads", self, "loads")
+        tel.bind("route_rejections", self, "rejections")
 
     def verify_route(
         self, topology: Optional[Tuple[int, int]], core_ids: List[int]
@@ -49,6 +53,20 @@ class SecureLoader:
 
     def load(self, task: SecureTask, core_ids: List[int]) -> None:
         """Route-check then mark the task as loaded on *core_ids*."""
-        self.verify_route(task.topology, core_ids)
+        tracer = telemetry.tracer
+        try:
+            self.verify_route(task.topology, core_ids)
+        except RouteIntegrityError:
+            if tracer.enabled:
+                tracer.instant(
+                    "route.reject", "noc", track="monitor",
+                    task=task.task_id, cores=sorted(core_ids),
+                )
+            raise
+        if tracer.enabled:
+            tracer.instant(
+                "route.verify", "noc", track="monitor",
+                task=task.task_id, cores=sorted(core_ids),
+            )
         task.loaded_cores = list(core_ids)
         self.loads += 1

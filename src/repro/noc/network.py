@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.common.types import World
 from repro.errors import ConfigError, NoCAuthError
 from repro.noc.mesh import Mesh
@@ -68,6 +69,25 @@ class WormholeNetwork:
         self.worlds: List[World] = [World.NORMAL] * mesh.size
         self._link_free: Dict[Link, float] = {}
         self.outcomes: List[TransferOutcome] = []
+        tel = telemetry.metrics.group("noc.network")
+        tel.bind("transfers", self, "delivered_packets")
+        tel.bind("rejected", self, "rejected_packets")
+        tel.bind("bytes_delivered", self, "bytes_delivered")
+        tel.bind("throughput", self, "aggregate_throughput")
+        self._h_latency = tel.histogram("latency_cycles")
+        self._h_queueing = tel.histogram("queueing_cycles")
+
+    @property
+    def delivered_packets(self) -> int:
+        return sum(1 for o in self.outcomes if not o.rejected)
+
+    @property
+    def rejected_packets(self) -> int:
+        return sum(1 for o in self.outcomes if o.rejected)
+
+    @property
+    def bytes_delivered(self) -> int:
+        return sum(o.nbytes for o in self.outcomes if not o.rejected)
 
     def set_world(self, core_id: int, world: World, issuer: World) -> None:
         from repro.errors import PrivilegeError

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.common.types import World
 from repro.errors import ConfigError, NoCAuthError, PrivilegeError
 from repro.noc.flit import Packet
@@ -114,6 +115,30 @@ class NoCFabric:
         self.routers: List[RouterController] = [
             RouterController(self, i) for i in range(mesh.size)
         ]
+        tel = telemetry.metrics.group("noc.fabric")
+        tel.bind("packets_sent", self, "packets_sent")
+        tel.bind("packets_received", self, "packets_received")
+        tel.bind("packets_rejected", self, "packets_rejected")
+        tel.bind("flits_moved", self, "flits_moved")
+
+    # ------------------------------------------------------------------
+    # Fabric-wide aggregates over the per-router stats (telemetry view)
+    # ------------------------------------------------------------------
+    @property
+    def packets_sent(self) -> int:
+        return sum(r.stats.packets_sent for r in self.routers)
+
+    @property
+    def packets_received(self) -> int:
+        return sum(r.stats.packets_received for r in self.routers)
+
+    @property
+    def packets_rejected(self) -> int:
+        return sum(r.stats.packets_rejected for r in self.routers)
+
+    @property
+    def flits_moved(self) -> int:
+        return sum(r.stats.flits_moved for r in self.routers)
 
     # ------------------------------------------------------------------
     def latency_cycles(self, src: int, dst: int, nbytes: int) -> float:
@@ -151,6 +176,12 @@ class NoCFabric:
             except NoCAuthError as exc:
                 outcome["error"] = exc
                 sender.state = RouterState.IDLE
+                tracer = telemetry.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "noc.reject", "noc", ts=self.engine.now, track="noc",
+                        src=src, dst=dst,
+                    )
                 return
             receiver.state = RouterState.TRANSFER
             n_flits = packet.n_flits(self.flit_bytes)
@@ -165,6 +196,14 @@ class NoCFabric:
             sender.stats.packets_sent += 1
             receiver.stats.packets_received += 1
             outcome["done_at"] = self.engine.now
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                tracer.span(
+                    f"pkt {src}->{dst}", "noc", ts=start,
+                    dur=self.engine.now - start, track="noc",
+                    bytes=nbytes, flits=packet.n_flits(self.flit_bytes),
+                    world=packet.world.name,
+                )
 
         sender.state = RouterState.PEEPHOLE  # generate the identity
         self.engine.schedule(self.mesh.hops(src, dst) * self.hop_cycles, head_arrives)

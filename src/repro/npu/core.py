@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from repro import telemetry
 from repro.common.types import CheckStats, World
 from repro.errors import ConfigError, PrivilegeError
 from repro.memory.dram import DRAMModel
@@ -116,6 +117,32 @@ class NPUCore:
             accumulator=self.accumulator,
             functional=functional,
         )
+        tel = telemetry.metrics.group("npu.core")
+        self._m_layers = tel.counter("layers_run")
+        self._m_cycles = tel.gauge("cycles_total")
+        self._m_flush = tel.gauge("flush_cycles_total")
+        self._h_layer = tel.histogram("layer_cycles")
+        self._track = f"core{core_id}"
+        #: Layer spans' timebase: cumulative cycles across runs on this core.
+        self._cursor = 0.0
+
+    def _record_layer(self, name: str, cycles: float, flush_cycles: float) -> None:
+        """Telemetry for one finished layer (span + counters)."""
+        self._m_layers.inc()
+        self._m_cycles.add(cycles)
+        self._m_flush.add(flush_cycles)
+        self._h_layer.observe(cycles, cycle=self._cursor)
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.span(
+                name, "core", ts=self._cursor, dur=cycles, track=self._track
+            )
+            if flush_cycles > 0:
+                tracer.span(
+                    "flush", "flush", ts=self._cursor + cycles - flush_cycles,
+                    dur=flush_cycles, track=self._track,
+                )
+        self._cursor += cycles
 
     # ------------------------------------------------------------------
     # Secure world state (the core's ID bit, §IV-B)
@@ -239,6 +266,7 @@ class NPUCore:
             )
             total += cycles
             flush_total += fcycles
+            self._record_layer(layer.name, cycles, fcycles)
         return RunResult(
             task_name=program.task_name,
             cycles=total,
@@ -341,6 +369,7 @@ class NPUCore:
             )
             total += layer_cycles
             flush_total += layer_flush
+            self._record_layer(layer.name, layer_cycles, layer_flush)
 
         stats_copy = CheckStats()
         stats_copy.merge(self.controller.stats)

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.types import PACKET_BYTES, World
 from repro.errors import ConfigError
 from repro.memory.dram import DRAMModel
@@ -104,6 +105,17 @@ class DMAEngine:
         self.stats = DMAStats()
         #: Trace buffer; None = tracing off (see :meth:`start_trace`).
         self.trace: Optional[list] = None
+        #: Cycle cursor of this engine's private timeline (sum of transfer
+        #: latencies); the timebase for its telemetry spans.
+        self.cursor = 0.0
+        tel = telemetry.metrics.group("npu.dma")
+        self._track = tel.prefix.replace("npu.", "")
+        tel.bind("requests", self.stats, "requests")
+        tel.bind("packets", self.stats, "packets")
+        tel.bind("bytes_in", self.stats, "bytes_in")
+        tel.bind("bytes_out", self.stats, "bytes_out")
+        tel.bind("stall_cycles", self.stats, "stall_cycles")
+        self._h_transfer = tel.histogram("transfer_cycles")
 
     def _target_spad(self, transfer: SpadTransfer) -> Scratchpad:
         spad = self.accumulator if transfer.to_accumulator else self.scratchpad
@@ -138,6 +150,17 @@ class DMAEngine:
         cycles = self.ISSUE_CYCLES + outcome.extra_cycles + stream_cycles
         if self.encryption is not None:
             cycles += self.encryption.extra_cycles(request.size)
+
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            tracer.span(
+                f"dma.{request.stream}", "dma", ts=self.cursor, dur=cycles,
+                track=self._track, bytes=request.size,
+                rw="W" if request.is_write else "R",
+                stalls=outcome.extra_cycles,
+            )
+        self.cursor += cycles
+        self._h_transfer.observe(cycles, cycle=self.cursor)
 
         if self.trace is not None:
             self.trace.append(

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.types import World
 from repro.errors import (
     ConfigError,
@@ -77,6 +78,12 @@ class Scratchpad:
         self.reads = 0
         self.writes = 0
         self.violations = 0
+        scope = "global" if shared else "local"
+        tel = telemetry.metrics.group(f"npu.scratchpad.{scope}")
+        tel.bind("reads", self, "reads")
+        tel.bind("writes", self, "writes")
+        tel.bind("violations", self, "violations")
+        tel.bind("secure_lines", self, "secure_lines")
 
     # ------------------------------------------------------------------
     # Configuration

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.types import AddressRange, DmaRequest, Permission, World
 from repro.errors import (
     AccessViolation,
@@ -74,46 +75,56 @@ def _pad_lines(data: bytes, line_bytes: int) -> np.ndarray:
 # 1. Compromised NPU reads CPU-side secure memory through DMA
 # ----------------------------------------------------------------------
 def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
-    """A normal-world NPU task DMAs the TrustZone secure region."""
-    config = NPUConfig.paper_default()
-    memmap = MemoryMap.default()
-    dram = DRAMModel(config.dram_bytes_per_cycle)
-    secure = memmap.region("secure")
-    dram.write(secure.range.base, SECRET)
+    """A normal-world NPU task DMAs the TrustZone secure region.
 
-    if protection == "none":
-        controller = NoProtection()
-    else:
-        controller = NPUGuarder()
-        install_platform_checking(controller, memmap)
-        # The *driver* can map anything it likes into a translation
-        # register - the checking registers are what stop it.
-        controller.set_translation_register(
-            0, vbase=secure.range.base, pbase=secure.range.base, size=4096
+    The blocked verdict is corroborated by the telemetry registry: the
+    attempt must show up as ``mmu.guarder.denials`` — the same counter an
+    operator would alert on in production.
+    """
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        memmap = MemoryMap.default()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        secure = memmap.region("secure")
+        dram.write(secure.range.base, SECRET)
+
+        if protection == "none":
+            controller = NoProtection()
+        else:
+            controller = NPUGuarder()
+            install_platform_checking(controller, memmap)
+            # The *driver* can map anything it likes into a translation
+            # register - the checking registers are what stop it.
+            controller.set_translation_register(
+                0, vbase=secure.range.base, pbase=secure.range.base, size=4096
+            )
+
+        spad = Scratchpad(config.spad_lines, config.spad_line_bytes)
+        dma = DMAEngine(
+            config, controller, dram, scratchpad=spad, functional=True
         )
-
-    spad = Scratchpad(config.spad_lines, config.spad_line_bytes)
-    dma = DMAEngine(config, controller, dram, scratchpad=spad, functional=True)
-    request = DmaRequest(
-        vaddr=secure.range.base,
-        size=len(SECRET),
-        is_write=False,
-        world=World.NORMAL,
-        stream="exfil",
-    )
-    transfer = SpadTransfer(request=request, spad_line=0, lines=3)
-    try:
-        dma.execute(transfer)
-    except SecurityViolation as exc:
+        request = DmaRequest(
+            vaddr=secure.range.base,
+            size=len(SECRET),
+            is_write=False,
+            world=World.NORMAL,
+            stream="exfil",
+        )
+        transfer = SpadTransfer(request=request, spad_line=0, lines=3)
+        try:
+            dma.execute(transfer)
+        except SecurityViolation as exc:
+            denials = scope.metrics.get("mmu.guarder.denials", 0)
+            return AttackResult(
+                "dma_steal_secure_memory", protection, succeeded=False,
+                blocked_by=type(exc).__name__,
+                detail=f"{exc} [guarder.denials={denials}]",
+            )
+        stolen = spad.raw_peek(0, 3).reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
-            "dma_steal_secure_memory", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+            "dma_steal_secure_memory", protection, succeeded=stolen == SECRET,
+            detail=f"read {stolen[:16]!r}...",
         )
-    stolen = spad.raw_peek(0, 3).reshape(-1).tobytes()[: len(SECRET)]
-    return AttackResult(
-        "dma_steal_secure_memory", protection, succeeded=stolen == SECRET,
-        detail=f"read {stolen[:16]!r}...",
-    )
 
 
 # ----------------------------------------------------------------------
@@ -126,29 +137,34 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
     still there — the LeftoverLocals disclosure.  Under sNPU the read
     faults on the ID mismatch even *before* any scrub happens.
     """
-    config = NPUConfig.paper_default()
-    mode = (
-        SpadIsolationMode.ID_BASED if protection == "snpu" else SpadIsolationMode.NONE
-    )
-    spad = Scratchpad(config.spad_lines, config.spad_line_bytes, mode=mode)
-
-    payload = _pad_lines(SECRET, config.spad_line_bytes)
-    # Victim (secure) writes its model tiles and finishes WITHOUT an
-    # explicit flush (the attack window).
-    spad.write(100, payload, World.SECURE)
-
-    try:
-        leaked = spad.read(100, payload.shape[0], World.NORMAL)
-    except ScratchpadIsolationError as exc:
-        return AttackResult(
-            "leftoverlocals", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        mode = (
+            SpadIsolationMode.ID_BASED
+            if protection == "snpu"
+            else SpadIsolationMode.NONE
         )
-    stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
-    return AttackResult(
-        "leftoverlocals", protection, succeeded=stolen == SECRET,
-        detail=f"recovered {stolen[:16]!r}...",
-    )
+        spad = Scratchpad(config.spad_lines, config.spad_line_bytes, mode=mode)
+
+        payload = _pad_lines(SECRET, config.spad_line_bytes)
+        # Victim (secure) writes its model tiles and finishes WITHOUT an
+        # explicit flush (the attack window).
+        spad.write(100, payload, World.SECURE)
+
+        try:
+            leaked = spad.read(100, payload.shape[0], World.NORMAL)
+        except ScratchpadIsolationError as exc:
+            violations = scope.metrics.get("npu.scratchpad.local.violations", 0)
+            return AttackResult(
+                "leftoverlocals", protection, succeeded=False,
+                blocked_by=type(exc).__name__,
+                detail=f"{exc} [scratchpad.violations={violations}]",
+            )
+        stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
+        return AttackResult(
+            "leftoverlocals", protection, succeeded=stolen == SECRET,
+            detail=f"recovered {stolen[:16]!r}...",
+        )
 
 
 # ----------------------------------------------------------------------
@@ -157,28 +173,35 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
 def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
     """A concurrently running non-secure core reads (and overwrites) the
     secure task's lines in the shared scratchpad."""
-    config = NPUConfig.paper_default()
-    mode = (
-        SpadIsolationMode.ID_BASED if protection == "snpu" else SpadIsolationMode.NONE
-    )
-    spad = Scratchpad(4096, config.spad_line_bytes, mode=mode, shared=True)
-    payload = _pad_lines(SECRET, config.spad_line_bytes)
-    spad.write(0, payload, World.SECURE)
-
-    try:
-        leaked = spad.read(0, payload.shape[0], World.NORMAL)
-        # Also attempt to corrupt the victim's data.
-        spad.write(0, np.zeros_like(payload), World.NORMAL)
-    except ScratchpadIsolationError as exc:
-        return AttackResult(
-            "global_spad_cotenant", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        mode = (
+            SpadIsolationMode.ID_BASED
+            if protection == "snpu"
+            else SpadIsolationMode.NONE
         )
-    stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
-    return AttackResult(
-        "global_spad_cotenant", protection, succeeded=stolen == SECRET,
-        detail="read and overwrote secure lines",
-    )
+        spad = Scratchpad(4096, config.spad_line_bytes, mode=mode, shared=True)
+        payload = _pad_lines(SECRET, config.spad_line_bytes)
+        spad.write(0, payload, World.SECURE)
+
+        try:
+            leaked = spad.read(0, payload.shape[0], World.NORMAL)
+            # Also attempt to corrupt the victim's data.
+            spad.write(0, np.zeros_like(payload), World.NORMAL)
+        except ScratchpadIsolationError as exc:
+            violations = scope.metrics.get(
+                "npu.scratchpad.global.violations", 0
+            )
+            return AttackResult(
+                "global_spad_cotenant", protection, succeeded=False,
+                blocked_by=type(exc).__name__,
+                detail=f"{exc} [scratchpad.violations={violations}]",
+            )
+        stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
+        return AttackResult(
+            "global_spad_cotenant", protection, succeeded=stolen == SECRET,
+            detail="read and overwrote secure lines",
+        )
 
 
 # ----------------------------------------------------------------------
@@ -187,29 +210,38 @@ def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
 def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
     """A compromised scheduler routes a secure core's intermediate
     results to a core the attacker controls (Fig. 7)."""
-    config = NPUConfig.paper_default()
-    mesh = Mesh(2, 2)
-    policy = NoCPolicy.PEEPHOLE if protection == "snpu" else NoCPolicy.UNAUTHORIZED
-    fabric = NoCFabric(
-        mesh, policy=policy, hop_cycles=config.noc_hop_cycles,
-        flit_bytes=config.noc_flit_bytes,
-    )
-    # Core 0 runs the secure producer; core 3 SHOULD be the secure
-    # consumer, but the malicious scheduler put the attacker's task there.
-    fabric.routers[0].set_world(World.SECURE, issuer=World.SECURE)
-    # attacker's core 3 stays NORMAL.
-    try:
-        fabric.transfer(0, 3, nbytes=len(SECRET))
-    except NoCAuthError as exc:
-        return AttackResult(
-            "noc_route_hijack", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        mesh = Mesh(2, 2)
+        policy = (
+            NoCPolicy.PEEPHOLE if protection == "snpu"
+            else NoCPolicy.UNAUTHORIZED
         )
-    received = fabric.routers[3].stats.packets_received
-    return AttackResult(
-        "noc_route_hijack", protection, succeeded=received > 0,
-        detail=f"attacker core received {received} packet(s)",
-    )
+        fabric = NoCFabric(
+            mesh, policy=policy, hop_cycles=config.noc_hop_cycles,
+            flit_bytes=config.noc_flit_bytes,
+        )
+        # Core 0 runs the secure producer; core 3 SHOULD be the secure
+        # consumer, but the malicious scheduler put the attacker's task
+        # there.
+        fabric.routers[0].set_world(World.SECURE, issuer=World.SECURE)
+        # attacker's core 3 stays NORMAL.
+        try:
+            fabric.transfer(0, 3, nbytes=len(SECRET))
+        except NoCAuthError as exc:
+            rejected = scope.metrics.get("noc.fabric.packets_rejected", 0)
+            return AttackResult(
+                "noc_route_hijack", protection, succeeded=False,
+                blocked_by=type(exc).__name__,
+                detail=f"{exc} [noc.packets_rejected={rejected}]",
+            )
+        # The verdict comes from the fabric-wide registry metric, not a
+        # router's private stats object.
+        received = scope.metrics.get("noc.fabric.packets_received", 0)
+        return AttackResult(
+            "noc_route_hijack", protection, succeeded=received > 0,
+            detail=f"attacker core received {received} packet(s)",
+        )
 
 
 # ----------------------------------------------------------------------

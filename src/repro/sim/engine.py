@@ -2,7 +2,9 @@
 
 Used by the flit-level NoC model (Fig. 16) where concurrency between
 routers matters.  Events scheduled for the same time fire in insertion
-order, which keeps runs bit-for-bit reproducible.
+order, which keeps runs bit-for-bit reproducible.  Cancelled events stay
+in the heap as tombstones and are skipped (lazy deletion), so models can
+retract a scheduled callback in O(1) without disturbing the queue.
 """
 
 from __future__ import annotations
@@ -12,17 +14,23 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
 
 
-@dataclass(frozen=True)
+@dataclass
 class Event:
     """A callback scheduled to run at an absolute simulation time."""
 
     time: float
     seq: int
     action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Retract this event; the engine skips it without firing."""
+        self.cancelled = True
 
 
 class SimEngine:
@@ -42,6 +50,10 @@ class SimEngine:
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
+        tel = telemetry.metrics.group("sim.engine")
+        self._m_fired = tel.counter("events_fired")
+        self._m_cancelled = tel.counter("events_cancelled")
+        tel.bind("events_pending", self, "pending")
 
     @property
     def now(self) -> float:
@@ -63,34 +75,58 @@ class SimEngine:
         heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
+    def _discard_cancelled(self) -> None:
+        """Drop tombstones sitting at the head of the queue."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+            self._m_cancelled.inc()
+
     def step(self) -> bool:
-        """Fire the next event; return False when the queue is empty."""
+        """Fire the next live event; return False when none remain.
+
+        Cancelled events are discarded without firing and without
+        advancing the clock.
+        """
+        self._discard_cancelled()
         if not self._queue:
             return False
         when, _seq, event = heapq.heappop(self._queue)
         self.clock.advance_to(when)
         event.action()
+        self._m_fired.inc()
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Run until the queue drains (or *until* is reached); return the time.
 
-        *max_events* guards against a runaway model that reschedules forever.
+        *max_events* guards against a runaway model that reschedules
+        forever: exactly *max_events* events may fire, and needing one
+        more raises.  Cancelled events do not count against the budget.
         """
+        started = self.now
         fired = 0
-        while self._queue:
+        while True:
+            self._discard_cancelled()
+            if not self._queue:
+                break
             when = self._queue[0][0]
             if until is not None and when > until:
                 self.clock.advance_to(until)
-                return self.now
-            self.step()
-            fired += 1
-            if fired > max_events:
+                break
+            if fired >= max_events:
                 raise SimulationError(
                     f"event budget exceeded ({max_events} events) - livelock?"
                 )
+            self.step()
+            fired += 1
+        tracer = telemetry.tracer
+        if tracer.enabled and fired:
+            tracer.span(
+                "engine.run", "engine", ts=started, dur=self.now - started,
+                track="engine", events=fired,
+            )
         return self.now
 
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _t, _s, event in self._queue if not event.cancelled)

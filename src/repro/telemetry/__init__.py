@@ -1,0 +1,111 @@
+"""Unified observability layer: metrics registry + event tracing.
+
+Usage (library)::
+
+    from repro import telemetry
+
+    with telemetry.scoped() as tel:          # fresh, enabled, auto-restored
+        soc = SoC(SoCConfig(protection="snpu"))
+        soc.run_model(model, detailed=True)
+        print(tel.metrics.snapshot()["mmu.guarder.checks"])
+        open("trace.json", "w").write(tel.tracer.to_chrome_trace())
+
+Usage (CLI)::
+
+    repro stats mobilenet --detailed         # metrics table + metrics.json
+    repro trace examples/quickstart.py       # Chrome-trace of a script
+
+Both singletons are **disabled by default** and cost near nothing while
+disabled; components register their metric groups at construction time,
+so enable telemetry *before* building the system you want to observe
+(``scoped()`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSet,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_SET,
+)
+from repro.telemetry.trace import TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSet",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SET",
+    "metrics",
+    "tracer",
+    "enable",
+    "disable",
+    "reset",
+    "scoped",
+]
+
+#: Process-global metrics registry (disabled until :func:`enable`).
+metrics = MetricsRegistry(enabled=False)
+
+#: Process-global trace recorder (disabled until :func:`enable`).
+tracer = TraceRecorder(enabled=False)
+
+
+def enable(trace: bool = True) -> None:
+    """Turn telemetry on (optionally leaving the tracer off)."""
+    metrics.enable()
+    if trace:
+        tracer.enable()
+
+
+def disable() -> None:
+    metrics.disable()
+    tracer.disable()
+
+
+def reset() -> None:
+    """Clear all registered groups and buffered trace events."""
+    metrics.reset()
+    tracer.reset()
+
+
+@dataclass
+class TelemetryScope:
+    """The pair of live collectors inside a :func:`scoped` block."""
+
+    metrics: MetricsRegistry
+    tracer: TraceRecorder
+
+
+@contextlib.contextmanager
+def scoped(trace: bool = True) -> Iterator[TelemetryScope]:
+    """Run a block against a fresh, enabled telemetry state.
+
+    The previous state (groups, events, enabled flags) is saved and
+    restored on exit, so scopes nest and never leak registrations — each
+    experiment's ``metrics.json`` contains only its own system.
+    """
+    saved_metrics = metrics._export_state()
+    saved_tracer = tracer._export_state()
+    metrics._restore_state((True, {}, {}))
+    tracer._restore_state((bool(trace), [], {}, 0.0, 0))
+    try:
+        yield TelemetryScope(metrics=metrics, tracer=tracer)
+    finally:
+        metrics._restore_state(saved_metrics)
+        tracer._restore_state(saved_tracer)

@@ -99,6 +99,66 @@ class TestSimEngine:
     def test_step_returns_false_when_empty(self):
         assert SimEngine().step() is False
 
+    def test_event_budget_is_exact(self):
+        # Exactly max_events may fire; needing one more is the error.
+        engine = SimEngine()
+        fired = []
+        for i in range(10):
+            engine.schedule(i + 1, lambda i=i: fired.append(i))
+        engine.run(max_events=10)
+        assert len(fired) == 10
+
+        engine = SimEngine()
+        for i in range(11):
+            engine.schedule(i + 1, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=10)
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimEngine()
+        fired = []
+        keep = engine.schedule(5, lambda: fired.append("keep"))
+        drop = engine.schedule(3, lambda: fired.append("drop"))
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+        assert drop.cancelled is True
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        engine = SimEngine()
+        engine.schedule(5, lambda: None)
+        late = engine.schedule(100, lambda: None)
+        late.cancel()
+        engine.run()
+        assert engine.now == 5
+
+    def test_cancelled_events_excluded_from_pending(self):
+        engine = SimEngine()
+        engine.schedule(1, lambda: None)
+        cancelled = engine.schedule(2, lambda: None)
+        cancelled.cancel()
+        assert engine.pending() == 1
+
+    def test_cancelled_events_do_not_count_against_budget(self):
+        engine = SimEngine()
+        fired = []
+        for i in range(10):
+            engine.schedule(i + 1, lambda: None).cancel()
+        engine.schedule(20, lambda: fired.append("real"))
+        engine.run(max_events=1)
+        assert fired == ["real"]
+
+    def test_cancel_inside_handler(self):
+        # An event may cancel a later one while the queue is running.
+        engine = SimEngine()
+        fired = []
+        victim = engine.schedule(10, lambda: fired.append("victim"))
+        engine.schedule(1, lambda: victim.cancel())
+        engine.run()
+        assert fired == []
+        assert engine.now == 1
+
 
 class TestBandwidthResource:
     def test_cycles_for(self):
