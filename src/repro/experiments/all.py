@@ -9,6 +9,11 @@ Usage::
 experiment also writes ``<exp_id>.json`` (figure data) and
 ``<exp_id>.metrics.json`` (the telemetry snapshot captured while it ran)
 into that directory.
+
+Experiments are declared in :data:`REGISTRY` with relative cost hints
+(measured ``eval`` wall-clock) and dependencies; ``repro all --jobs N``
+uses those to schedule a process pool (see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -16,12 +21,12 @@ from __future__ import annotations
 import json
 import os
 import sys
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.experiments import fig01, fig13, fig14, fig15, fig16, fig17, fig18
 from repro.experiments import sensitivity, table1, tcb
+from repro.experiments.registry import ExperimentRegistry
 from repro.experiments.runner import ExperimentResult
 
 
@@ -30,21 +35,46 @@ def _fig13_all(profile: str) -> Tuple[ExperimentResult, ...]:
     return perf, reqs
 
 
-#: Experiment registry: id -> callable(profile) returning one result or a
-#: tuple of results.  ``repro experiments`` and :func:`run_all` both
-#: dispatch through it, so every experiment gets the same telemetry wrap.
+def _access_paths(profile: str):
+    from repro.experiments import access_paths
+
+    return access_paths.run(profile)
+
+
+#: Experiment registry: the single dispatch point for ``repro
+#: experiments``, :func:`run_all` and the parallel executor.  Cost hints
+#: are measured ``eval``-profile seconds (relative values are what
+#: matters: the scheduler dispatches costliest-first).
+REGISTRY = ExperimentRegistry()
+REGISTRY.register("fig01", fig01.run, cost=1.2,
+                  description="accelerator utilization (Fig. 1)")
+REGISTRY.register("fig13", _fig13_all, cost=11.5,
+                  description="access control: perf + request counts")
+REGISTRY.register("fig13-energy", fig13.run_energy, cost=4.1, deps=("fig13",),
+                  description="checking-energy companion to Fig. 13(b)")
+REGISTRY.register("fig14", fig14.run, cost=0.5,
+                  description="flush granularity")
+REGISTRY.register("fig15", fig15.run, cost=9.0,
+                  description="partition vs dynamic scratchpad")
+REGISTRY.register("fig16", lambda profile: fig16.run(), cost=0.1,
+                  description="NoC micro-test")
+REGISTRY.register("fig17", fig17.run, cost=0.4,
+                  description="NoC application overhead")
+REGISTRY.register("fig18", lambda profile: fig18.run(), cost=0.1,
+                  description="hardware cost")
+REGISTRY.register("table1", table1.run, cost=9.5,
+                  description="isolation matrix (Table I)")
+REGISTRY.register("tcb", lambda profile: tcb.run(), cost=0.1,
+                  description="TCB size")
+REGISTRY.register("sensitivity", sensitivity.run, cost=3.4,
+                  description="sensitivity sweeps")
+REGISTRY.register("access-paths", _access_paths, cost=3.0, in_all=False,
+                  description="access-path microbenchmarks")
+
+#: Backwards-compatible ``id -> callable(profile)`` view of the registry
+#: (everything that ``repro all`` runs).
 EXPERIMENTS: Dict[str, Callable] = {
-    "fig01": fig01.run,
-    "fig13": _fig13_all,
-    "fig13-energy": fig13.run_energy,
-    "fig14": fig14.run,
-    "fig15": fig15.run,
-    "fig16": lambda profile: fig16.run(),
-    "fig17": fig17.run,
-    "fig18": lambda profile: fig18.run(),
-    "table1": table1.run,
-    "tcb": lambda profile: tcb.run(),
-    "sensitivity": sensitivity.run,
+    spec.exp_id: spec.runner for spec in REGISTRY if spec.in_all
 }
 
 
@@ -57,14 +87,9 @@ def run_one(
     into a fresh registry, so the snapshot attached to the result (and
     written to ``<exp_id>.metrics.json``) covers exactly this experiment.
     """
-    if exp_id == "access-paths":
-        from repro.experiments import access_paths
-
-        runner: Callable = access_paths.run
-    else:
-        runner = EXPERIMENTS[exp_id]
+    spec = REGISTRY.get(exp_id)
     with telemetry.scoped(trace=False) as scope:
-        out = runner(profile)
+        out = spec.runner(profile)
         snapshot = scope.metrics.snapshot()
     results = list(out) if isinstance(out, tuple) else [out]
     for result in results:
@@ -80,13 +105,36 @@ def run_one(
     return results
 
 
-def run_all(profile: str = "eval", outdir: Optional[str] = None) -> None:
-    started = time.time()
-    for exp_id in EXPERIMENTS:
-        for result in run_one(exp_id, profile, outdir):
+def run_all(
+    profile: str = "eval",
+    outdir: Optional[str] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+) -> None:
+    """Run every registered experiment and print each table.
+
+    With ``jobs > 1`` the experiments fan out across a process pool;
+    with ``use_cache`` unchanged experiments are served from the
+    content-addressed result cache.  Either way the printed figure data
+    is identical to a serial, uncached run.
+    """
+    from repro.experiments.parallel import run_parallel
+
+    run = run_parallel(
+        None, profile=profile, jobs=jobs, outdir=outdir,
+        use_cache=use_cache, cache_dir=cache_dir,
+    )
+    for outcome in run.outcomes:
+        for result in outcome.results:
             print(result)
             print()
-    print(f"(all experiments in {time.time() - started:.1f}s, profile={profile})")
+    print(run.timing_table())
+    print()
+    print(
+        f"(all experiments in {run.wall_seconds:.1f}s, profile={profile}, "
+        f"jobs={run.jobs}, {run.cache_hits} cached)"
+    )
     if outdir:
         print(f"(figure data + metrics written to {outdir}/)")
 

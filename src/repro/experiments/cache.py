@@ -1,0 +1,162 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry's key is a SHA-256 over
+
+* the experiment id and profile,
+* the **config digest** — every field of the paper-default
+  :class:`~repro.npu.config.NPUConfig` (which also parameterises the NoC
+  mesh: tile count, link width, frequency), and
+* the **source digest** — path + content of every ``.py`` file under
+  ``src/repro``,
+
+so any change to the simulator, an experiment, or the modeled hardware
+invalidates exactly the runs it could affect, while re-running an
+unchanged tree is served from disk.  Entries are self-describing JSON
+(results + telemetry snapshot + timing) written atomically; see
+``docs/TESTING.md`` for the full key recipe.
+
+The cache directory defaults to ``~/.cache/repro-experiments`` and can
+be overridden with ``REPRO_CACHE_DIR`` or the CLI ``--cache-dir`` flag.
+``repro cache ls`` / ``repro cache clear`` inspect and drop it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-experiments"
+    )
+
+
+def source_digest() -> str:
+    """SHA-256 over every ``.py`` file under ``src/repro`` (memoised).
+
+    The digest covers relative path *and* content, so renames invalidate
+    too.  Memoised per process: the tree cannot change underneath a
+    running experiment batch.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                digest.update(b"\0")
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+                digest.update(b"\0")
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def config_digest() -> str:
+    """SHA-256 over the paper-default NPU/NoC configuration fields."""
+    from repro.npu.config import NPUConfig
+
+    fields = dataclasses.asdict(NPUConfig.paper_default())
+    payload = json.dumps(fields, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def cache_key(exp_id: str, profile: str) -> str:
+    """Content-addressed key for one (experiment, profile) run."""
+    digest = hashlib.sha256()
+    for part in (exp_id, profile, config_digest(), source_digest()):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:24]
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` experiment payloads."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for *key*, or None (corrupt entries miss)."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> str:
+        """Atomically store *payload* under *key*; returns the path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, default=str, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata for every cache entry (key, exp_id, profile, size)."""
+        if not os.path.isdir(self.directory):
+            return []
+        out: List[Dict[str, Any]] = []
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            path = os.path.join(self.directory, name)
+            entry: Dict[str, Any] = {
+                "key": name[: -len(".json")],
+                "bytes": os.path.getsize(path),
+            }
+            payload = self.get(entry["key"])
+            if payload:
+                entry["exp_id"] = payload.get("exp_id", "?")
+                entry["profile"] = payload.get("profile", "?")
+                entry["elapsed"] = payload.get("elapsed", 0.0)
+            else:
+                entry["exp_id"] = "<corrupt>"
+                entry["profile"] = "?"
+                entry["elapsed"] = 0.0
+            out.append(entry)
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                os.unlink(self._path(entry["key"]))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -25,6 +25,12 @@ class ExperimentResult:
         missing = [c for c in self.columns if c not in values]
         if missing:
             raise ConfigError(f"row missing columns {missing}")
+        unknown = [k for k in values if k not in self.columns]
+        if unknown:
+            raise ConfigError(
+                f"row has unknown columns {unknown} "
+                f"(declared: {self.columns})"
+            )
         self.rows.append(values)
 
     def column(self, name: str) -> List[Any]:

@@ -3,6 +3,7 @@
 from repro.sim.clock import Clock
 from repro.sim.engine import SimEngine, Event
 from repro.sim.resources import BandwidthResource, PipelineModel, StageTimes
+from repro.sim.worker import init_worker, seed_rngs, stable_seed
 
 __all__ = [
     "Clock",
@@ -11,4 +12,7 @@ __all__ = [
     "BandwidthResource",
     "PipelineModel",
     "StageTimes",
+    "init_worker",
+    "seed_rngs",
+    "stable_seed",
 ]

@@ -1,0 +1,48 @@
+"""Worker-process hygiene for parallel experiment execution.
+
+A forked (or spawned) pool worker inherits the parent's process-global
+telemetry singletons and RNG state.  Engines register metric groups at
+construction time, so a worker that built simulators against inherited
+state would double-count into registries it does not own.
+:func:`init_worker` is the :class:`concurrent.futures.ProcessPoolExecutor`
+initializer that resets all of it; :func:`stable_seed` derives the
+deterministic per-experiment seed (identical regardless of worker count
+or dispatch order, which is what makes ``--jobs N`` bit-identical to
+``--jobs 1``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def stable_seed(*parts: str) -> int:
+    """A 64-bit seed derived only from *parts* (not process state)."""
+    digest = hashlib.sha256("\0".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def seed_rngs(seed: int) -> None:
+    """Seed every RNG a simulation might consult."""
+    random.seed(seed)
+    try:
+        import numpy
+
+        numpy.random.seed(seed % (2 ** 32))
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+
+
+def init_worker(seed: int = 0) -> None:
+    """Pool initializer: fresh telemetry globals + deterministic RNGs.
+
+    Safe to call in-process too (the serial path uses it for identical
+    start-of-run state): ``telemetry.scoped`` blocks opened afterwards
+    behave exactly as in a pristine interpreter.
+    """
+    from repro import telemetry
+
+    telemetry.disable()
+    telemetry.reset()
+    seed_rngs(seed)

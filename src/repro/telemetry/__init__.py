@@ -37,6 +37,7 @@ from repro.telemetry.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_SET,
+    merge_snapshots,
 )
 from repro.telemetry.trace import TraceRecorder
 
@@ -51,6 +52,7 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_SET",
+    "merge_snapshots",
     "metrics",
     "tracer",
     "enable",
@@ -102,7 +104,7 @@ def scoped(trace: bool = True) -> Iterator[TelemetryScope]:
     """
     saved_metrics = metrics._export_state()
     saved_tracer = tracer._export_state()
-    metrics._restore_state((True, {}, {}))
+    metrics._restore_state((True, {}, {}, {}))
     tracer._restore_state((bool(trace), [], {}, 0.0, 0))
     try:
         yield TelemetryScope(metrics=metrics, tracer=tracer)

@@ -27,7 +27,7 @@ already dropped (e.g. a SoC local to a script's ``main()``).
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -262,6 +262,58 @@ class _NullMetricSet(MetricSet):
 NULL_SET = _NullMetricSet()
 
 
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-process snapshot dicts into one registry-style view.
+
+    Snapshots are the flat ``name -> scalar`` dicts produced by
+    :meth:`MetricsRegistry.snapshot`; they are plain JSON, so they cross
+    process boundaries (the parallel experiment runner ships one back
+    from every worker).  Merge semantics follow the metric kind encoded
+    in the name:
+
+    * ``*.min`` — minimum across snapshots,
+    * ``*.max`` — maximum across snapshots,
+    * ``*.mean`` — recomputed from the merged ``.sum`` / ``.count``
+      siblings when both exist, else the plain average,
+    * ``*.p50`` / ``*.p99`` — upper bound (maximum) across snapshots;
+      exact cross-process percentiles would need the raw samples,
+    * any other numeric value — summed (counters, counts, sums,
+      bound attribute totals),
+    * non-numeric values — first occurrence wins.
+    """
+    merged: Dict[str, Any] = {}
+    counts: Dict[str, int] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            if name not in merged:
+                merged[name] = value
+                counts[name] = 1
+                continue
+            counts[name] += 1
+            current = merged[name]
+            if not isinstance(value, (int, float)) or not isinstance(
+                current, (int, float)
+            ):
+                continue
+            if name.endswith(".min"):
+                merged[name] = min(current, value)
+            elif name.endswith((".max", ".p50", ".p99")):
+                merged[name] = max(current, value)
+            else:
+                merged[name] = current + value
+    for name in list(merged):
+        if not name.endswith(".mean"):
+            continue
+        base = name[: -len(".mean")]
+        total = merged.get(f"{base}.sum")
+        count = merged.get(f"{base}.count")
+        if isinstance(total, (int, float)) and isinstance(count, (int, float)):
+            merged[name] = total / count if count else 0.0
+        elif isinstance(merged[name], (int, float)) and counts[name] > 1:
+            merged[name] = merged[name] / counts[name]
+    return dict(sorted(merged.items()))
+
+
 class MetricsRegistry:
     """Process-global hierarchy of :class:`MetricSet` groups."""
 
@@ -269,6 +321,9 @@ class MetricsRegistry:
         self.enabled = enabled
         self._groups: Dict[str, MetricSet] = {}
         self._prefix_counts: Dict[str, int] = {}
+        #: Snapshot values ingested from other processes (see
+        #: :meth:`ingest_snapshot`); merged into :meth:`snapshot`.
+        self._external: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -281,6 +336,7 @@ class MetricsRegistry:
         """Drop every registered group (values *and* structure)."""
         self._groups.clear()
         self._prefix_counts.clear()
+        self._external.clear()
 
     def group(self, prefix: str) -> MetricSet:
         """Register (or create) a metric group under *prefix*.
@@ -299,11 +355,21 @@ class MetricsRegistry:
         return group
 
     # ------------------------------------------------------------------
+    def ingest_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a foreign snapshot (e.g. from a pool worker) into this
+        registry's view, using :func:`merge_snapshots` semantics against
+        anything previously ingested.  Live local groups stay live; the
+        merged view appears in :meth:`snapshot`."""
+        self._external = merge_snapshots([self._external, snapshot])
+
     def snapshot(self) -> Dict[str, Any]:
-        """Flat, name-sorted ``metric -> value`` view of everything live."""
+        """Flat, name-sorted ``metric -> value`` view of everything live
+        plus everything ingested from other processes."""
         out: Dict[str, Any] = {}
         for group in self._groups.values():
             out.update(group.collect())
+        if self._external:
+            out = merge_snapshots([self._external, out])
         return dict(sorted(out.items()))
 
     def to_json(self, indent: int = 2) -> str:
@@ -314,10 +380,13 @@ class MetricsRegistry:
         return self.snapshot().get(name, default)
 
     # -- scoped-state plumbing (used by ``telemetry.scoped``) ----------
-    def _export_state(self) -> Tuple[bool, Dict[str, MetricSet], Dict[str, int]]:
-        return (self.enabled, self._groups, self._prefix_counts)
+    def _export_state(
+        self,
+    ) -> Tuple[bool, Dict[str, MetricSet], Dict[str, int], Dict[str, Any]]:
+        return (self.enabled, self._groups, self._prefix_counts, self._external)
 
     def _restore_state(
-        self, state: Tuple[bool, Dict[str, MetricSet], Dict[str, int]]
+        self,
+        state: Tuple[bool, Dict[str, MetricSet], Dict[str, int], Dict[str, Any]],
     ) -> None:
-        self.enabled, self._groups, self._prefix_counts = state
+        self.enabled, self._groups, self._prefix_counts, self._external = state

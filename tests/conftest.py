@@ -20,6 +20,21 @@ from repro.npu.core import NPUCore
 from repro.workloads.synthetic import synthetic_cnn, synthetic_mlp
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from fresh experiment runs "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def config() -> NPUConfig:
     return NPUConfig.paper_default()

@@ -1,0 +1,136 @@
+"""Property tests for the experiment table formatter.
+
+Invariants under arbitrary column names, row counts and cell values:
+
+* every table line between header and last row has identical width
+  (cells are padded to the per-column maximum),
+* the separator row is dashes aligned under the header,
+* ``_fmt`` round-trips numbers to within its own formatting precision
+  (thousands are rendered ``1,234``-style at integer precision, small
+  floats at three decimals, ints exactly),
+* an empty result still formats and its columns read back empty.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import ExperimentResult, _fmt, format_table
+
+names = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "_-",
+    min_size=1,
+    max_size=10,
+)
+cells = st.one_of(
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.floats(
+        allow_nan=False,
+        allow_infinity=False,
+        min_value=-1e12,
+        max_value=1e12,
+    ),
+    st.text(
+        alphabet=string.printable.replace("\n", "").replace("\r", ""),
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def results(draw):
+    columns = draw(st.lists(names, min_size=1, max_size=5, unique=True))
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    result = ExperimentResult("prop", "property table", columns)
+    for _ in range(n_rows):
+        result.rows.append({c: draw(cells) for c in columns})
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        result.notes.append(draw(names))
+    return result
+
+
+class TestAlignment:
+    @given(results())
+    @settings(max_examples=60, deadline=None)
+    def test_header_separator_and_rows_align(self, result):
+        lines = format_table(result).split("\n")
+        # title + header + separator + rows + notes
+        assert len(lines) == 3 + len(result.rows) + len(result.notes)
+        table_lines = lines[1 : 3 + len(result.rows)]
+        widths = {len(line) for line in table_lines}
+        assert len(widths) == 1, f"ragged table: {sorted(widths)}"
+
+    @given(results())
+    @settings(max_examples=60, deadline=None)
+    def test_separator_is_dashes_under_header(self, result):
+        lines = format_table(result).split("\n")
+        separator = lines[2]
+        assert set(separator) <= {"-", " "}
+        assert separator.split("  ") == [
+            "-" * len(part) for part in separator.split("  ")
+        ]
+
+    @given(results())
+    @settings(max_examples=60, deadline=None)
+    def test_str_matches_format(self, result):
+        assert str(result) == format_table(result)
+
+
+class TestFmtRoundTrip:
+    @given(st.integers(min_value=-(10 ** 15), max_value=10 ** 15))
+    @settings(max_examples=80, deadline=None)
+    def test_ints_round_trip_exactly(self, value):
+        assert _fmt(value) == str(value)
+        assert int(_fmt(value)) == value
+
+    @given(
+        st.floats(
+            allow_nan=False, allow_infinity=False,
+            min_value=-1e12, max_value=1e12,
+        ).filter(lambda v: abs(v) >= 1000)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_large_floats_round_trip_to_integer_precision(self, value):
+        text = _fmt(value)
+        parsed = float(text.replace(",", ""))
+        # ``{:,.0f}`` rounds half-to-even: within half a unit.
+        assert abs(parsed - value) <= 0.5
+        assert ("-" in text) == (value < 0)
+
+    @given(
+        st.floats(
+            allow_nan=False, allow_infinity=False,
+            min_value=-999.999, max_value=999.999,
+        ).filter(lambda v: abs(v) < 1000)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_small_floats_round_trip_to_three_decimals(self, value):
+        text = _fmt(value)
+        assert "," not in text
+        assert abs(float(text) - value) <= 5e-4
+
+    def test_negative_thousands_keep_sign_and_grouping(self):
+        assert _fmt(-1234567.0) == "-1,234,567"
+        assert _fmt(1234.0) == "1,234"
+
+    def test_non_numbers_stringify(self):
+        assert _fmt("resnet") == "resnet"
+        assert _fmt(True) == "True"
+
+
+class TestEmptyRows:
+    def test_empty_result_formats(self):
+        result = ExperimentResult("empty", "no rows yet", ["a", "bb"])
+        text = format_table(result)
+        lines = text.split("\n")
+        assert len(lines) == 3
+        assert lines[1].rstrip() == "a  bb"
+        assert result.column("a") == []
+
+    def test_empty_result_with_notes(self):
+        result = ExperimentResult("empty", "t", ["x"], notes=["n1", "n2"])
+        assert format_table(result).split("\n")[-2:] == [
+            "note: n1", "note: n2",
+        ]

@@ -74,3 +74,51 @@ class TestCommands:
     def test_experiments_access_paths(self, capsys):
         assert main(["experiments", "access-paths", "--profile", "tiny"]) == 0
         assert "type2_mmu" in capsys.readouterr().out
+
+
+class TestParallelAndCache:
+    def test_jobs_and_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "fig16", "--jobs", "4", "--cache"]
+        )
+        assert args.jobs == 4 and args.cache
+        args = build_parser().parse_args(["experiments", "fig16", "--no-cache"])
+        assert args.jobs == 1 and not args.cache
+
+    def test_experiments_with_jobs_prints_timing(self, capsys):
+        code = main([
+            "experiments", "fig16", "fig18", "--profile", "tiny",
+            "--outdir", "", "--jobs", "2", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NoC micro-test" in out and "S_Spad" in out
+        assert "Per-experiment wall clock" in out
+
+    def test_cached_rerun_reports_hits(self, tmp_path, capsys):
+        argv = [
+            "experiments", "fig16", "--profile", "tiny", "--outdir", "",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache-hit" in capsys.readouterr().out
+
+    def test_cache_ls_empty(self, tmp_path, capsys):
+        code = main(["cache", "ls", "--cache-dir", str(tmp_path / "none")])
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_ls_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path)
+        main([
+            "experiments", "tcb", "--profile", "tiny", "--outdir", "",
+            "--cache", "--cache-dir", cache_dir,
+        ])
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "tcb" in out and "1 entries" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out

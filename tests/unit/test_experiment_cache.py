@@ -1,0 +1,110 @@
+"""Unit tests for the content-addressed experiment result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments import export
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def _payload(exp_id="fig99", profile="tiny"):
+    result = ExperimentResult(exp_id, "t", ["a"], rows=[{"a": 1.5}])
+    return {
+        "exp_id": exp_id,
+        "profile": profile,
+        "elapsed": 0.25,
+        "results": [export.to_dict(result)],
+        "metrics": {"sim.engine.events_fired": 3},
+    }
+
+
+class TestKey:
+    def test_stable_within_process(self):
+        assert cache_key("fig13", "eval") == cache_key("fig13", "eval")
+
+    def test_varies_with_experiment_and_profile(self):
+        keys = {
+            cache_key("fig13", "eval"),
+            cache_key("fig13", "paper"),
+            cache_key("fig14", "eval"),
+        }
+        assert len(keys) == 3
+
+    def test_varies_with_source_digest(self, monkeypatch):
+        before = cache_key("fig13", "eval")
+        monkeypatch.setattr(cache_mod, "_SOURCE_DIGEST", "0" * 64)
+        assert cache_key("fig13", "eval") != before
+
+    def test_source_digest_covers_the_package(self):
+        digest = cache_mod.source_digest()
+        assert len(digest) == 64
+        assert digest == cache_mod.source_digest()  # memoised
+
+    def test_config_digest_is_stable(self):
+        assert cache_mod.config_digest() == cache_mod.config_digest()
+
+
+class TestStore:
+    def test_miss_returns_none(self, cache):
+        assert cache.get("deadbeef") is None
+
+    def test_put_then_get_round_trips(self, cache):
+        payload = _payload()
+        cache.put("k1", payload)
+        assert cache.get("k1") == payload
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("k1", _payload())
+        with open(os.path.join(cache.directory, "k1.json"), "w") as fh:
+            fh.write("{not json")
+        assert cache.get("k1") is None
+
+    def test_entries_describe_contents(self, cache):
+        cache.put("k1", _payload("figA"))
+        cache.put("k2", _payload("figB", profile="eval"))
+        entries = cache.entries()
+        assert [e["exp_id"] for e in entries] == ["figA", "figB"]
+        assert all(e["bytes"] > 0 for e in entries)
+
+    def test_clear_removes_everything(self, cache):
+        cache.put("k1", _payload())
+        cache.put("k2", _payload())
+        assert cache.clear() == 2
+        assert cache.entries() == []
+        assert cache.clear() == 0
+
+    def test_missing_directory_is_empty(self, cache):
+        assert cache.entries() == []
+        assert cache.clear() == 0
+
+    def test_env_var_overrides_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "env"))
+        assert ResultCache().directory == str(tmp_path / "env")
+
+
+class TestResultRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        result = ExperimentResult(
+            "fig99", "title", ["a", "b"],
+            rows=[{"a": 1, "b": 2.5}], notes=["n"],
+            metrics={"m": 1},
+        )
+        clone = export.from_dict(export.to_dict(result))
+        assert export.to_dict(clone) == export.to_dict(result)
+        assert clone.format() == result.format()
+
+    def test_json_round_trip_preserves_floats(self):
+        result = ExperimentResult(
+            "fig99", "t", ["x"], rows=[{"x": 0.1 + 0.2}]
+        )
+        wire = json.loads(json.dumps(export.to_dict(result)))
+        assert export.from_dict(wire).rows[0]["x"] == result.rows[0]["x"]

@@ -1,0 +1,64 @@
+"""Error-path unit tests for :class:`ExperimentResult`."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult("x", "title", ["a", "b"])
+
+
+class TestAddRow:
+    def test_accepts_exact_columns(self, result):
+        result.add_row(a=1, b=2)
+        assert result.rows == [{"a": 1, "b": 2}]
+
+    def test_rejects_missing_columns(self, result):
+        with pytest.raises(ConfigError, match="missing columns.*'b'"):
+            result.add_row(a=1)
+        assert result.rows == []
+
+    def test_rejects_unknown_columns(self, result):
+        with pytest.raises(ConfigError, match="unknown columns.*'c'"):
+            result.add_row(a=1, b=2, c=3)
+        assert result.rows == []
+
+    def test_rejects_typo_even_with_all_columns_present(self, result):
+        # The historical bug: extra keys were silently stored, so a typo
+        # like ``ratio_=...`` next to the real column never surfaced.
+        with pytest.raises(ConfigError, match="unknown columns"):
+            result.add_row(a=1, b=2, b_=3)
+
+    def test_missing_reported_before_unknown(self, result):
+        with pytest.raises(ConfigError, match="missing columns"):
+            result.add_row(a=1, z=9)
+
+
+class TestColumn:
+    def test_returns_values_in_row_order(self, result):
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        assert result.column("a") == [1, 3]
+
+    def test_unknown_column_raises_with_exp_id(self, result):
+        with pytest.raises(ConfigError, match="no column 'z' in x"):
+            result.column("z")
+
+
+class TestRowFor:
+    def test_finds_first_match(self, result):
+        result.add_row(a=1, b="first")
+        result.add_row(a=1, b="second")
+        assert result.row_for("a", 1)["b"] == "first"
+
+    def test_no_match_raises_with_key(self, result):
+        result.add_row(a=1, b=2)
+        with pytest.raises(ConfigError, match="no row with a=99 in x"):
+            result.row_for("a", 99)
+
+    def test_empty_rows_raise(self, result):
+        with pytest.raises(ConfigError):
+            result.row_for("a", 1)
