@@ -1,0 +1,91 @@
+"""Benchmark the cycle-attribution profiler and record the perf trajectory.
+
+Profiles a fixed workload matrix (two models x three protections, the
+detailed timing path) and writes ``BENCH_profile.json`` at the repo root
+in the two-section schema ``repro bench diff`` understands:
+
+* ``metrics.deterministic`` — simulated totals (attributed cycles,
+  IOTLB walks, Guarder checks, layer counts).  Pure float math over
+  fixed inputs: these must be bit-identical run to run, and any change
+  is either a regression or a behaviour change that must update the
+  committed baseline.
+* ``metrics.timing`` — host wall-clock per profile plus aggregate
+  throughput (``profile_runs_per_sec``).  Compared with a loose
+  tolerance; CI uses a looser one still.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py [input_size]
+
+Regenerate the committed baseline with the same command and commit the
+result when a deliberate model change shifts the deterministic numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.analysis.profile import profile_model
+from repro.workloads import zoo
+
+MODELS = ("resnet", "mobilenet")
+PROTECTIONS = ("none", "trustzone", "snpu")
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_profile.json")
+
+
+def main(input_size: int = 112) -> int:
+    deterministic = {}
+    timing = {}
+    started = time.perf_counter()
+    runs = 0
+    for model_name in MODELS:
+        model = zoo.MODEL_BUILDERS[model_name](input_size)
+        for protection in PROTECTIONS:
+            profile = profile_model(model, protection, detailed=True)
+            runs += 1
+            key = f"{model.name}.{protection}"
+            deterministic[f"{key}.cycles"] = float(profile.total)
+            deterministic[f"{key}.layers"] = len(profile.layers)
+            deterministic[f"{key}.iotlb_walks"] = profile.counts.get(
+                "iotlb.walks", 0
+            )
+            deterministic[f"{key}.guarder_checks"] = profile.counts.get(
+                "guarder.checks", 0
+            )
+            deterministic[f"{key}.stall_cycles"] = profile.share(
+                "dma.stall.iotlb"
+            ) * float(profile.total)
+            timing[f"{key}.host_seconds"] = round(profile.host_seconds, 4)
+            print(
+                f"  {key:<24} {float(profile.total):>14,.0f} cycles  "
+                f"{profile.host_seconds:6.2f}s host"
+            )
+    elapsed = time.perf_counter() - started
+    timing["profile_runs_per_sec"] = round(runs / elapsed, 4)
+
+    payload = {
+        "benchmark": "repro profile workload matrix (detailed path)",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cpu_count": os.cpu_count(),
+        "input_size": input_size,
+        "models": list(MODELS),
+        "protections": list(PROTECTIONS),
+        "metrics": {
+            "deterministic": deterministic,
+            "timing": timing,
+        },
+    }
+    out = os.path.normpath(OUT_PATH)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {out} ({runs} profiles in {elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 112
+    raise SystemExit(main(size))

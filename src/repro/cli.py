@@ -9,6 +9,9 @@
     python -m repro experiments fig13 fig14   # regenerate figures
     python -m repro stats resnet           # run + dump the metrics registry
     python -m repro trace examples/quickstart.py   # record a Chrome trace
+    python -m repro profile resnet --protection snpu --diff baseline
+    python -m repro profile resnet --host  # cProfile the simulator itself
+    python -m repro bench diff BENCH_profile.json new.json
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro import SoC, SoCConfig, telemetry
+from repro.errors import ReproError
 from repro.npu.config import NPUConfig
 from repro.workloads import zoo
 
@@ -226,7 +230,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 return 2
             import runpy
 
-            runpy.run_path(target, run_name="__main__")
+            try:
+                runpy.run_path(target, run_name="__main__")
+            except SystemExit as exc:
+                if exc.code not in (None, 0):
+                    print(f"script {target!r} exited with {exc.code}",
+                          file=sys.stderr)
+                    return 2
+            except Exception as exc:  # noqa: BLE001 - surface one line
+                print(f"script {target!r} failed: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                return 2
         else:
             model = _resolve_model(target, args.input_size)
             if model is None:
@@ -261,6 +275,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"(open with https://ui.perfetto.dev or chrome://tracing)")
     print(f"metrics written to {metrics_path}")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Cycle-attribution report, protection-mode diff, or host profile."""
+    from repro.analysis.profile import (
+        diff_profiles, profile_host, profile_model,
+    )
+
+    model = _resolve_model(args.model, args.input_size)
+    if model is None:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
+        return 2
+
+    if args.host:
+        report = profile_host(
+            model, protection=args.protection,
+            detailed=not args.analytic, secure=args.secure, top=args.top,
+        )
+        _emit(report, args.out)
+        return 0
+
+    profile = profile_model(
+        model, protection=args.protection, detailed=not args.analytic,
+        secure=args.secure,
+    )
+
+    if args.diff:
+        base_name = "none" if args.diff == "baseline" else args.diff
+        if base_name not in ("none", "trustzone", "snpu"):
+            print(f"unknown protection {args.diff!r} for --diff; choose "
+                  f"baseline, none, trustzone or snpu", file=sys.stderr)
+            return 2
+        base = profile_model(
+            model, protection=base_name, detailed=not args.analytic,
+            secure=args.secure and base_name != "none",
+        )
+        diff = diff_profiles(base, profile)
+        if args.format == "json":
+            _emit(diff.to_json(), args.out)
+        else:
+            _emit(diff.to_table(markdown=args.format == "md"), args.out)
+        return 0
+
+    if args.format == "json":
+        payload = profile.to_json()
+    elif args.format == "md":
+        payload = profile.to_markdown()
+    elif args.format == "folded":
+        payload = profile.to_folded()
+    else:
+        payload = profile.to_table()
+    _emit(payload, args.out)
+    return 0
+
+
+def _emit(payload: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(payload if payload.endswith("\n") else payload + "\n")
+        print(f"written to {out}")
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Compare two BENCH_*.json perf trajectories (regression gate)."""
+    from repro.telemetry.regression import compare_bench_files
+
+    for path in (args.old, args.new):
+        if not os.path.exists(path):
+            print(f"no such bench file {path!r}", file=sys.stderr)
+            return 2
+    try:
+        comparison = compare_bench_files(
+            args.old, args.new,
+            timing_tolerance=args.timing_tolerance,
+            deterministic_tolerance=args.deterministic_tolerance,
+        )
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"cannot compare bench files: {exc}", file=sys.stderr)
+        return 2
+    print(f"bench diff: {args.old} -> {args.new}")
+    print(comparison.format_table(), end="")
+    return 0 if comparison.ok else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -399,6 +498,59 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print a plain-text timeline")
     p_trace.set_defaults(func=_cmd_trace)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="cycle-attribution report (or --host: profile the simulator)",
+    )
+    p_prof.add_argument("model", help=", ".join(zoo.MODEL_BUILDERS))
+    p_prof.add_argument(
+        "--protection", choices=("none", "trustzone", "snpu"), default="snpu"
+    )
+    p_prof.add_argument(
+        "--diff", metavar="BASE", default=None,
+        help="decompose the overhead vs this protection "
+             "(baseline/none, trustzone, snpu)",
+    )
+    p_prof.add_argument("--secure", action="store_true")
+    p_prof.add_argument(
+        "--analytic", action="store_true",
+        help="use the analytic timing path (default: detailed)",
+    )
+    p_prof.add_argument("--input-size", type=int, default=112)
+    p_prof.add_argument(
+        "--format", choices=("table", "md", "json", "folded"),
+        default="table",
+        help="folded = flamegraph.pl folded stacks",
+    )
+    p_prof.add_argument("-o", "--out", default=None, metavar="PATH",
+                        help="write the report here instead of stdout")
+    p_prof.add_argument(
+        "--host", action="store_true",
+        help="cProfile the simulator itself (host wall-clock hot loops)",
+    )
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="functions to show with --host (default 15)")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench", help="perf-trajectory tools (BENCH_*.json)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bdiff = bench_sub.add_parser(
+        "diff", help="compare two BENCH files; exit 1 on regression"
+    )
+    p_bdiff.add_argument("old", help="baseline BENCH_*.json")
+    p_bdiff.add_argument("new", help="fresh BENCH_*.json")
+    p_bdiff.add_argument(
+        "--timing-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative tolerance for host-timing metrics (default 0.25)",
+    )
+    p_bdiff.add_argument(
+        "--deterministic-tolerance", type=float, default=0.0, metavar="FRAC",
+        help="tolerance for simulated-cycle metrics (default 0: bit-exact)",
+    )
+    p_bdiff.set_defaults(func=_cmd_bench)
+
     p_val = sub.add_parser(
         "validate", help="cross-check the analytic vs detailed timing paths"
     )
@@ -419,7 +571,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Simulation/configuration/security errors surface as one line;
+        # genuine bugs (anything else) keep their traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -262,6 +262,8 @@ class MultiTaskScheduler:
                 q_task = model_b.name
             if q_task is not None:
                 self._h_quantum.observe(t - q_start, cycle=q_start)
+                telemetry.profiler.attribute("scheduler.quantum", t - q_start)
+                telemetry.profiler.count("scheduler.quanta")
                 if tracer.enabled:
                     tracer.span(
                         f"quantum {q_task}", "scheduler", ts=q_start,
@@ -283,6 +285,8 @@ class MultiTaskScheduler:
                 t += switch_cost
                 switches += 1
                 self._m_switches.inc()
+                telemetry.profiler.attribute("scheduler.switch", switch_cost)
+                telemetry.profiler.count("scheduler.switches")
                 current = "b" if current == "a" else "a"
             elif not self_pending:
                 break
@@ -354,6 +358,8 @@ class MultiTaskScheduler:
             elapsed += quantum
         wait += switch_cost
         self._m_preemptions.inc()
+        telemetry.profiler.attribute("scheduler.wait", wait)
+        telemetry.profiler.count("scheduler.preemptions")
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(

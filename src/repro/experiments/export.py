@@ -1,13 +1,16 @@
-"""Export experiment results to JSON / CSV for plotting pipelines."""
+"""Export experiment results and profiles to JSON / CSV / markdown."""
 
 from __future__ import annotations
 
 import csv
 import io
 import json
-from typing import Any, Dict
+from typing import Any, Dict, TYPE_CHECKING
 
 from repro.experiments.runner import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.profile import ModelProfile, ProfileDiff
 
 
 def to_dict(result: ExperimentResult) -> Dict[str, Any]:
@@ -56,5 +59,43 @@ def write(result: ExperimentResult, path: str) -> None:
         payload = to_csv(result)
     else:
         payload = result.format() + "\n"
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def render_profile(profile: "ModelProfile", fmt: str = "md") -> str:
+    """One profile report as ``md`` / ``json`` / ``folded`` / ``table`` text."""
+    if fmt == "json":
+        return profile.to_json()
+    if fmt == "folded":
+        return profile.to_folded()
+    if fmt == "table":
+        return profile.to_table()
+    return profile.to_markdown()
+
+
+def write_profile(profile: "ModelProfile", path: str) -> None:
+    """Write a cycle-attribution report; the extension picks the format.
+
+    ``.json`` round-trips exactly (Fraction-preserving), ``.folded`` is
+    flamegraph input (one ``stack;frame count`` line per category), and
+    ``.md`` / anything else is the human-readable markdown report.
+    """
+    if path.endswith(".json"):
+        payload = render_profile(profile, "json")
+    elif path.endswith(".folded"):
+        payload = render_profile(profile, "folded")
+    else:
+        payload = render_profile(profile, "md")
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def write_profile_diff(diff: "ProfileDiff", path: str) -> None:
+    """Write an overhead-decomposition diff (.json, else markdown table)."""
+    if path.endswith(".json"):
+        payload = diff.to_json()
+    else:
+        payload = diff.to_table(markdown=True)
     with open(path, "w") as fh:
         fh.write(payload)

@@ -49,6 +49,13 @@ class AccessController(abc.ABC):
     #: Short mechanism name used in reports ("iommu-8", "guarder", ...).
     name: str = "base"
 
+    #: Per-check latency attributed to the mechanism itself by the cycle
+    #: profiler.  Zero for every shipped controller — register-file checks
+    #: (Guarder) are combinational and walk stalls are charged through
+    #: ``TranslationOutcome.extra_cycles`` — but the constant makes the
+    #: "Guarder check latency" row of the decomposition explicit.
+    CHECK_CYCLES: float = 0.0
+
     def __init__(self) -> None:
         self.stats = CheckStats()
 

@@ -214,6 +214,7 @@ class NPUGuarder(AccessController):
         # request-granular instead of packet-granular (Fig. 13(b)).
         self.stats.translations += request.sub_requests
         self.stats.checks += request.sub_requests
+        telemetry.profiler.count("guarder.checks", request.sub_requests)
 
         # The request's virtual footprint (including strided rows) must lie
         # inside one translation register, which maps a whole tile/chunk.

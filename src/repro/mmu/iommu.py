@@ -152,6 +152,7 @@ class IOMMU(AccessController):
                 stall *= self.SEQUENTIAL_OVERLAP
             self.stats.walk_cycles += stall
             self._pending_walk_cycles += stall
+            telemetry.profiler.count("iotlb.walks")
             tracer = telemetry.tracer
             if tracer.enabled:
                 tracer.span(
@@ -263,6 +264,7 @@ class IOMMU(AccessController):
     def invalidate_iotlb(self) -> None:
         """Full IOTLB shootdown (context switch / world switch)."""
         self.iotlb.invalidate()
+        telemetry.profiler.count("iotlb.shootdowns")
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(

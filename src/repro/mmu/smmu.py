@@ -57,6 +57,7 @@ class TrustZoneSMMU(IOMMU):
         """
         if world is not self.device_world:
             self.world_switches += 1
+            telemetry.profiler.count("smmu.world_switches")
             self.invalidate_iotlb()
             self.device_world = world
             tracer = telemetry.tracer

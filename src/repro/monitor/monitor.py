@@ -145,6 +145,7 @@ class NPUMonitor:
         )
         self.queue.enqueue(task)
         self._m_submitted.inc()
+        telemetry.profiler.count("monitor.submits")
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(
@@ -171,6 +172,7 @@ class NPUMonitor:
         for core_id in core_ids:
             self.context_setter.set_core_secure(self._core(core_id))
         self._m_scheduled.inc()
+        telemetry.profiler.count("monitor.schedules")
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(
@@ -192,6 +194,7 @@ class NPUMonitor:
             self.domains.release(scheduled.task.domain)
         scheduled.task.chunks = {}
         self._m_completed.inc()
+        telemetry.profiler.count("monitor.completions")
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(

@@ -16,6 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro import telemetry
 from repro.common.types import World
 from repro.errors import TrampolineError
 
@@ -51,6 +52,12 @@ Handler = Callable[[TrampolineCall, World], Any]
 class Trampoline:
     """Function-ID dispatch table with defensive marshalling."""
 
+    #: Cycles one Monitor invocation spends crossing the gate.  The call
+    #: is control-plane work off the NPU's critical path, so the paper's
+    #: timing model charges none — the profiler hook keeps the
+    #: ``monitor.call`` decomposition row explicit regardless.
+    CALL_CYCLES: float = 0.0
+
     def __init__(self):
         self._handlers: Dict[TrampolineFunc, Handler] = {}
         self.calls = 0
@@ -70,6 +77,8 @@ class Trampoline:
     ) -> Any:
         """Cross into the Monitor.  Raises on malformed calls."""
         self.calls += 1
+        telemetry.profiler.count("monitor.trampoline_calls")
+        telemetry.profiler.attribute("monitor.call", self.CALL_CYCLES)
         try:
             func_id = TrampolineFunc(func)
         except ValueError:

@@ -176,6 +176,7 @@ class NoCFabric:
             except NoCAuthError as exc:
                 outcome["error"] = exc
                 sender.state = RouterState.IDLE
+                telemetry.profiler.count("noc.rejects")
                 tracer = telemetry.tracer
                 if tracer.enabled:
                     tracer.instant(
@@ -196,6 +197,14 @@ class NoCFabric:
             sender.stats.packets_sent += 1
             receiver.stats.packets_received += 1
             outcome["done_at"] = self.engine.now
+            profiler = telemetry.profiler
+            if profiler.enabled:
+                # Head-flit route traversal vs body-flit drain behind it.
+                hop = self.mesh.hops(src, dst) * self.hop_cycles
+                duration = self.engine.now - start
+                profiler.attribute("noc.hop", min(hop, duration))
+                profiler.attribute("noc.serialization", max(duration - hop, 0.0))
+                profiler.count("noc.packets")
             tracer = telemetry.tracer
             if tracer.enabled:
                 tracer.span(

@@ -168,17 +168,27 @@ class NPUCore:
     # ------------------------------------------------------------------
     # Analytic timing path
     # ------------------------------------------------------------------
-    def _boundary_cost(self, layer: LayerSchedule, share: float) -> float:
-        """Cycles of one flush context switch at a preemption boundary.
+    def _boundary_parts(
+        self, layer: LayerSchedule, share: float
+    ) -> tuple:
+        """(scrub, context_switch, refetch) cycles of one flush boundary.
 
         scrub of the used lines + fixed driver/control overhead + re-fetch
-        of any scratchpad-resident data the schedule relied on.
+        of any scratchpad-resident data the schedule relied on.  Split out
+        so the cycle profiler can attribute each component separately.
         """
-        cost = self.config.scrub_cycles(layer.spad_lines_used)
-        cost += self.config.context_switch_cycles
-        if layer.resident_bytes:
-            cost += self.dram.transfer_cycles(layer.resident_bytes, share)
-        return cost
+        scrub = self.config.scrub_cycles(layer.spad_lines_used)
+        refetch = (
+            self.dram.transfer_cycles(layer.resident_bytes, share)
+            if layer.resident_bytes
+            else 0.0
+        )
+        return scrub, self.config.context_switch_cycles, refetch
+
+    def _boundary_cost(self, layer: LayerSchedule, share: float) -> float:
+        """Cycles of one flush context switch at a preemption boundary."""
+        scrub, ctx, refetch = self._boundary_parts(layer, share)
+        return scrub + ctx + refetch
 
     def _layer_cycles_analytic(
         self,
@@ -187,7 +197,14 @@ class NPUCore:
         flush: Optional[str],
         spad_mode_overhead: float = 0.0,
     ) -> tuple:
-        """Return (total_cycles, flush_cycles) for one layer."""
+        """Return (total_cycles, flush_cycles, info) for one layer.
+
+        *info* carries the profiler's side-channel observations: total DMA
+        busy cycles, descriptor-issue cycles, total compute cycles and the
+        number of flush boundaries charged — everything the attribution
+        and overlap-efficiency reports need without re-deriving the
+        pipeline math.
+        """
         iters = layer.n_iterations
         blocks = max(layer.n_blocks, 1)
         issue = DMAEngine.ISSUE_CYCLES
@@ -204,6 +221,14 @@ class NPUCore:
         compute = layer.compute_cycles_per_iter + spad_mode_overhead
         slot = max(load, compute)
         slot_store = max(load, compute, store_block)
+        info = {
+            "dma_busy": iters * load + blocks * store_block,
+            "issue_cycles": (
+                (layer.n_load_requests + layer.n_store_requests) * issue
+            ),
+            "compute_busy": iters * compute,
+            "boundaries": 0,
+        }
 
         if flush == "tile":
             # Each output block is its own pipeline segment followed by a
@@ -217,15 +242,17 @@ class NPUCore:
             )
             boundary = self._boundary_cost(layer, share)
             total = blocks * (segment + boundary)
-            return total, blocks * boundary
+            info["boundaries"] = blocks
+            return total, blocks * boundary, info
         # One pipeline segment for the whole layer.
         total = (
             (iters - blocks) * slot + blocks * slot_store + load + store_block
         )
         if flush == "layer":
             boundary = self._boundary_cost(layer, share)
-            return total + boundary, boundary
-        return total, 0.0
+            info["boundaries"] = 1
+            return total + boundary, boundary, info
+        return total, 0.0, info
 
     def run_analytic(
         self,
@@ -240,18 +267,44 @@ class NPUCore:
         """
         if flush is not None and flush not in FLUSH_GRANULARITIES:
             raise ConfigError(f"unknown flush granularity {flush!r}")
+        profiler = telemetry.profiler
+        if profiler.enabled:
+            profiler.begin_run(program.task_name, "analytic")
         layers: List[LayerResult] = []
         total = 0.0
         flush_total = 0.0
         for i, layer in enumerate(program.layers):
             per_layer_flush = flush if flush != "layer5" else None
-            cycles, fcycles = self._layer_cycles_analytic(
+            cycles, fcycles, info = self._layer_cycles_analytic(
                 layer, share, per_layer_flush
             )
             if flush == "layer5" and (i + 1) % 5 == 0:
                 boundary = self._boundary_cost(layer, share)
                 cycles += boundary
                 fcycles += boundary
+                info["boundaries"] += 1
+            if profiler.enabled:
+                scrub, ctx, refetch = self._boundary_parts(layer, share)
+                n_bound = info["boundaries"]
+                profiler.layer(
+                    layer.name,
+                    layer.index,
+                    cycles,
+                    [
+                        ("flush.scrub", n_bound * scrub),
+                        ("flush.context_switch", n_bound * ctx),
+                        ("flush.refetch", n_bound * refetch),
+                        ("pe.compute", info["compute_busy"]),
+                        ("dma.issue", info["issue_cycles"]),
+                    ],
+                    residual="dma.transfer",
+                    stats={
+                        "dma_busy": info["dma_busy"],
+                        "compute_busy": info["compute_busy"],
+                        "macs": float(layer.macs),
+                        "page_walks": 0.0,
+                    },
+                )
             layers.append(
                 LayerResult(
                     name=layer.name,
@@ -267,6 +320,8 @@ class NPUCore:
             total += cycles
             flush_total += fcycles
             self._record_layer(layer.name, cycles, fcycles)
+        if profiler.enabled:
+            profiler.end_run()
         return RunResult(
             task_name=program.task_name,
             cycles=total,
@@ -322,54 +377,104 @@ class NPUCore:
             self.controller.reset_stats()
             self.dma.stats.reset()
 
+        profiler = telemetry.profiler
+        profiling = profiler.enabled
+        if profiling:
+            profiler.begin_run(program.task_name, "detailed")
         layers: List[LayerResult] = []
         total = 0.0
         flush_total = 0.0
-        for i, layer in enumerate(program.layers):
-            layer_cycles = 0.0
-            layer_flush = 0.0
-            seg_sum = 0.0
-            seg_first_load = None
-            seg_last_store = 0.0
-            for it in layer.iterations():
-                load = sum(self.dma.execute(t, share) for t in it.loads)
-                if self.dma.functional:
-                    self._functional_compute(it)
-                store = sum(self.dma.execute(t, share) for t in it.stores)
-                compute = it.compute_cycles
-                self.systolic.record(compute, it.macs)
-                if seg_first_load is None:
-                    seg_first_load = load
-                seg_sum += max(load, compute, store)
-                seg_last_store = store
-                if flush == "tile" and it.end_of_block:
+        try:
+            for i, layer in enumerate(program.layers):
+                if profiling:
+                    dma_stats, ctrl_stats = self.dma.stats, self.controller.stats
+                    stall0 = dma_stats.stall_cycles
+                    issue0 = dma_stats.issue_cycles
+                    crypto0 = dma_stats.crypto_cycles
+                    cursor0 = self.dma.cursor
+                    checks0 = ctrl_stats.checks
+                    walks0 = ctrl_stats.page_walks
+                layer_cycles = 0.0
+                layer_flush = 0.0
+                seg_sum = 0.0
+                seg_first_load = None
+                seg_last_store = 0.0
+                comp_sum = 0.0
+                n_bound = 0
+                for it in layer.iterations():
+                    load = sum(self.dma.execute(t, share) for t in it.loads)
+                    if self.dma.functional:
+                        self._functional_compute(it)
+                    store = sum(self.dma.execute(t, share) for t in it.stores)
+                    compute = it.compute_cycles
+                    self.systolic.record(compute, it.macs)
+                    comp_sum += compute
+                    if seg_first_load is None:
+                        seg_first_load = load
+                    seg_sum += max(load, compute, store)
+                    seg_last_store = store
+                    if flush == "tile" and it.end_of_block:
+                        boundary = self._boundary_cost(layer, share)
+                        layer_cycles += (
+                            seg_sum + (seg_first_load or 0.0) + seg_last_store + boundary
+                        )
+                        layer_flush += boundary
+                        n_bound += 1
+                        seg_sum, seg_first_load, seg_last_store = 0.0, None, 0.0
+                if seg_first_load is not None or seg_sum:
+                    layer_cycles += seg_sum + (seg_first_load or 0.0) + seg_last_store
+                if flush == "layer" or (flush == "layer5" and (i + 1) % 5 == 0):
                     boundary = self._boundary_cost(layer, share)
-                    layer_cycles += (
-                        seg_sum + (seg_first_load or 0.0) + seg_last_store + boundary
-                    )
+                    layer_cycles += boundary
                     layer_flush += boundary
-                    seg_sum, seg_first_load, seg_last_store = 0.0, None, 0.0
-            if seg_first_load is not None or seg_sum:
-                layer_cycles += seg_sum + (seg_first_load or 0.0) + seg_last_store
-            if flush == "layer" or (flush == "layer5" and (i + 1) % 5 == 0):
-                boundary = self._boundary_cost(layer, share)
-                layer_cycles += boundary
-                layer_flush += boundary
-            layers.append(
-                LayerResult(
-                    name=layer.name,
-                    index=layer.index,
-                    cycles=layer_cycles,
-                    load_bytes=layer.load_bytes,
-                    store_bytes=layer.store_bytes,
-                    compute_cycles=layer.compute_cycles,
-                    macs=layer.macs,
-                    flush_cycles=layer_flush,
+                    n_bound += 1
+                if profiling:
+                    scrub, ctx, refetch = self._boundary_parts(layer, share)
+                    checks_delta = ctrl_stats.checks - checks0
+                    profiler.layer(
+                        layer.name,
+                        layer.index,
+                        layer_cycles,
+                        [
+                            ("flush.scrub", n_bound * scrub),
+                            ("flush.context_switch", n_bound * ctx),
+                            ("flush.refetch", n_bound * refetch),
+                            ("pe.compute", comp_sum),
+                            ("dma.stall.iotlb", dma_stats.stall_cycles - stall0),
+                            ("dma.stall.crypto", dma_stats.crypto_cycles - crypto0),
+                            ("dma.issue", dma_stats.issue_cycles - issue0),
+                            (
+                                "guarder.check",
+                                checks_delta * self.controller.CHECK_CYCLES,
+                            ),
+                        ],
+                        residual="dma.transfer",
+                        stats={
+                            "dma_busy": self.dma.cursor - cursor0,
+                            "compute_busy": comp_sum,
+                            "macs": float(layer.macs),
+                            "page_walks": float(ctrl_stats.page_walks - walks0),
+                            "checks": float(checks_delta),
+                        },
+                    )
+                layers.append(
+                    LayerResult(
+                        name=layer.name,
+                        index=layer.index,
+                        cycles=layer_cycles,
+                        load_bytes=layer.load_bytes,
+                        store_bytes=layer.store_bytes,
+                        compute_cycles=layer.compute_cycles,
+                        macs=layer.macs,
+                        flush_cycles=layer_flush,
+                    )
                 )
-            )
-            total += layer_cycles
-            flush_total += layer_flush
-            self._record_layer(layer.name, layer_cycles, layer_flush)
+                total += layer_cycles
+                flush_total += layer_flush
+                self._record_layer(layer.name, layer_cycles, layer_flush)
+        finally:
+            if profiling:
+                profiler.end_run()
 
         stats_copy = CheckStats()
         stats_copy.merge(self.controller.stats)

@@ -43,6 +43,12 @@ class DMAStats:
     bytes_in: float = 0.0
     bytes_out: float = 0.0
     stall_cycles: float = 0.0
+    #: Fixed descriptor-issue overhead accumulated across transfers.
+    issue_cycles: float = 0.0
+    #: Pure streaming time (DRAM/L2 byte movement), no overheads.
+    stream_cycles: float = 0.0
+    #: Memory-encryption-engine cycles on the DRAM path.
+    crypto_cycles: float = 0.0
 
     def reset(self) -> None:
         self.requests = 0
@@ -50,6 +56,9 @@ class DMAStats:
         self.bytes_in = 0.0
         self.bytes_out = 0.0
         self.stall_cycles = 0.0
+        self.issue_cycles = 0.0
+        self.stream_cycles = 0.0
+        self.crypto_cycles = 0.0
 
 
 @dataclass(frozen=True)
@@ -115,6 +124,9 @@ class DMAEngine:
         tel.bind("bytes_in", self.stats, "bytes_in")
         tel.bind("bytes_out", self.stats, "bytes_out")
         tel.bind("stall_cycles", self.stats, "stall_cycles")
+        tel.bind("issue_cycles", self.stats, "issue_cycles")
+        tel.bind("stream_cycles", self.stats, "stream_cycles")
+        tel.bind("crypto_cycles", self.stats, "crypto_cycles")
         self._h_transfer = tel.histogram("transfer_cycles")
 
     def _target_spad(self, transfer: SpadTransfer) -> Scratchpad:
@@ -148,8 +160,12 @@ class DMAEngine:
         else:
             stream_cycles = self.dram.transfer_cycles(request.size, share)
         cycles = self.ISSUE_CYCLES + outcome.extra_cycles + stream_cycles
+        self.stats.issue_cycles += self.ISSUE_CYCLES
+        self.stats.stream_cycles += stream_cycles
         if self.encryption is not None:
-            cycles += self.encryption.extra_cycles(request.size)
+            crypto = self.encryption.extra_cycles(request.size)
+            cycles += crypto
+            self.stats.crypto_cycles += crypto
 
         tracer = telemetry.tracer
         if tracer.enabled:

@@ -119,6 +119,8 @@ class SimEngine:
                 )
             self.step()
             fired += 1
+        if fired:
+            telemetry.profiler.count("engine.events_fired", fired)
         tracer = telemetry.tracer
         if tracer.enabled and fired:
             tracer.span(

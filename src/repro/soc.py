@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from repro import telemetry
 from repro.common.types import World
 from repro.errors import ConfigError
 from repro.driver.compiler import TilingCompiler
@@ -231,6 +232,14 @@ class SoC:
         runner = core.run_detailed if detailed else core.run_analytic
         result = runner(handle.program, share=share, flush=flush)
         result.cycles += extra_cycles
+        if extra_cycles:
+            # Attribute the whole-NPU world-switch windows to the run the
+            # core just archived: entry+exit scrub, fixed switch overhead.
+            telemetry.profiler.run_extra(
+                extra_cycles,
+                [("flush.scrub", 2 * scrub)],
+                residual="flush.world_switch",
+            )
 
         if scheduled is not None:
             self.monitor.complete(scheduled)

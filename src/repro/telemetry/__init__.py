@@ -39,6 +39,15 @@ from repro.telemetry.metrics import (
     NULL_SET,
     merge_snapshots,
 )
+from repro.telemetry.profiler import (
+    CATEGORIES,
+    CATEGORY_TREE,
+    CycleProfiler,
+    LayerAttribution,
+    RunProfile,
+    merge_profile_snapshots,
+    split_exact,
+)
 from repro.telemetry.trace import TraceRecorder
 
 __all__ = [
@@ -48,13 +57,21 @@ __all__ = [
     "MetricSet",
     "MetricsRegistry",
     "TraceRecorder",
+    "CycleProfiler",
+    "LayerAttribution",
+    "RunProfile",
+    "CATEGORIES",
+    "CATEGORY_TREE",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_SET",
     "merge_snapshots",
+    "merge_profile_snapshots",
+    "split_exact",
     "metrics",
     "tracer",
+    "profiler",
     "enable",
     "disable",
     "reset",
@@ -67,35 +84,43 @@ metrics = MetricsRegistry(enabled=False)
 #: Process-global trace recorder (disabled until :func:`enable`).
 tracer = TraceRecorder(enabled=False)
 
+#: Process-global cycle-attribution profiler (disabled until :func:`enable`).
+profiler = CycleProfiler(enabled=False)
 
-def enable(trace: bool = True) -> None:
-    """Turn telemetry on (optionally leaving the tracer off)."""
+
+def enable(trace: bool = True, profile: bool = True) -> None:
+    """Turn telemetry on (optionally leaving the tracer/profiler off)."""
     metrics.enable()
     if trace:
         tracer.enable()
+    if profile:
+        profiler.enable()
 
 
 def disable() -> None:
     metrics.disable()
     tracer.disable()
+    profiler.disable()
 
 
 def reset() -> None:
-    """Clear all registered groups and buffered trace events."""
+    """Clear all registered groups, buffered trace events and ledgers."""
     metrics.reset()
     tracer.reset()
+    profiler.reset()
 
 
 @dataclass
 class TelemetryScope:
-    """The pair of live collectors inside a :func:`scoped` block."""
+    """The live collectors inside a :func:`scoped` block."""
 
     metrics: MetricsRegistry
     tracer: TraceRecorder
+    profiler: CycleProfiler
 
 
 @contextlib.contextmanager
-def scoped(trace: bool = True) -> Iterator[TelemetryScope]:
+def scoped(trace: bool = True, profile: bool = True) -> Iterator[TelemetryScope]:
     """Run a block against a fresh, enabled telemetry state.
 
     The previous state (groups, events, enabled flags) is saved and
@@ -104,10 +129,13 @@ def scoped(trace: bool = True) -> Iterator[TelemetryScope]:
     """
     saved_metrics = metrics._export_state()
     saved_tracer = tracer._export_state()
+    saved_profiler = profiler._export_state()
     metrics._restore_state((True, {}, {}, {}))
-    tracer._restore_state((bool(trace), [], {}, 0.0, 0))
+    tracer._restore_state((bool(trace), [], {}, 0.0, 0, {}))
+    profiler._restore_state((bool(profile), {}, {}, [], None))
     try:
-        yield TelemetryScope(metrics=metrics, tracer=tracer)
+        yield TelemetryScope(metrics=metrics, tracer=tracer, profiler=profiler)
     finally:
         metrics._restore_state(saved_metrics)
         tracer._restore_state(saved_tracer)
+        profiler._restore_state(saved_profiler)

@@ -280,27 +280,40 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     * any other numeric value — summed (counters, counts, sums,
       bound attribute totals),
     * non-numeric values — first occurrence wins.
+
+    Edge cases handled explicitly: an empty iterable (or one containing
+    only empty/None snapshots) merges to ``{}``, and histogram stats from
+    snapshots whose sibling ``.count`` is zero are ignored for
+    ``.min``/``.max``/``.p50``/``.p99`` so an idle process's default
+    ``0.0`` never pollutes the merged extrema.
     """
-    merged: Dict[str, Any] = {}
-    counts: Dict[str, int] = {}
-    for snap in snapshots:
+    snaps = [snap for snap in snapshots if snap]
+    if not snaps:
+        return {}
+    occurrences: Dict[str, List[Tuple[Dict[str, Any], Any]]] = {}
+    for snap in snaps:
         for name, value in snap.items():
-            if name not in merged:
-                merged[name] = value
-                counts[name] = 1
-                continue
-            counts[name] += 1
-            current = merged[name]
-            if not isinstance(value, (int, float)) or not isinstance(
-                current, (int, float)
-            ):
-                continue
-            if name.endswith(".min"):
-                merged[name] = min(current, value)
-            elif name.endswith((".max", ".p50", ".p99")):
-                merged[name] = max(current, value)
-            else:
-                merged[name] = current + value
+            occurrences.setdefault(name, []).append((snap, value))
+
+    def _live(snap: Dict[str, Any], base: str) -> bool:
+        """False only when the sibling histogram count says "no samples"."""
+        count = snap.get(f"{base}.count")
+        return not (isinstance(count, (int, float)) and count == 0)
+
+    merged: Dict[str, Any] = {}
+    for name, pairs in occurrences.items():
+        numbers = [v for _snap, v in pairs if isinstance(v, (int, float))]
+        if len(numbers) != len(pairs):
+            merged[name] = pairs[0][1]  # non-numeric: first occurrence wins
+            continue
+        if name.endswith((".min", ".max", ".p50", ".p99")):
+            base = name.rsplit(".", 1)[0]
+            pool = [v for snap, v in pairs if _live(snap, base)] or numbers
+            merged[name] = min(pool) if name.endswith(".min") else max(pool)
+        elif name.endswith(".mean"):
+            merged[name] = sum(numbers) / len(numbers)  # recomputed below
+        else:
+            merged[name] = sum(numbers)
     for name in list(merged):
         if not name.endswith(".mean"):
             continue
@@ -309,8 +322,6 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         count = merged.get(f"{base}.count")
         if isinstance(total, (int, float)) and isinstance(count, (int, float)):
             merged[name] = total / count if count else 0.0
-        elif isinstance(merged[name], (int, float)) and counts[name] > 1:
-            merged[name] = merged[name] / counts[name]
     return dict(sorted(merged.items()))
 
 

@@ -1,0 +1,210 @@
+"""Perf-trajectory comparison: ``repro bench diff <old.json> <new.json>``.
+
+Benchmark scripts under ``benchmarks/`` write ``BENCH_*.json`` files
+whose ``metrics`` block separates two kinds of numbers:
+
+* ``deterministic`` — simulated cycle counts, event counts, row counts.
+  These are pure IEEE-754 float math over fixed inputs, so they must be
+  **bit-identical** between runs on any host: the default tolerance is
+  zero and any change is a regression (or an unflagged behaviour change).
+* ``timing`` — host wall-clock seconds and throughputs.  Noisy by
+  nature: compared with a relative tolerance (default 25%; CI uses a
+  looser gate because shared runners are noisier still).
+
+Metric direction: larger is worse, except names ending in ``_per_sec``
+or containing ``speedup``/``hits`` (throughput-style), where smaller is
+worse.  Files that predate the ``metrics`` block (flat dicts) are
+compared as timing metrics for any key that looks numeric.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default relative tolerance for host-timing metrics.
+DEFAULT_TIMING_TOLERANCE = 0.25
+
+_HIGHER_IS_BETTER_MARKERS = ("_per_sec", "speedup", "hits", "per_second")
+
+
+def higher_is_better(name: str) -> bool:
+    return any(marker in name for marker in _HIGHER_IS_BETTER_MARKERS)
+
+
+@dataclass
+class MetricDelta:
+    """One metric's old-vs-new comparison."""
+
+    name: str
+    kind: str  # "deterministic" | "timing"
+    old: float
+    new: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """new/old (1.0 = unchanged); inf when old == 0 and new != 0."""
+        if self.old == 0:
+            return 1.0 if self.new == 0 else float("inf")
+        return self.new / self.old
+
+    @property
+    def change(self) -> float:
+        """Signed relative change of the *bad* direction (positive = worse)."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        rel = (self.new - self.old) / abs(self.old)
+        return -rel if higher_is_better(self.name) else rel
+
+    @property
+    def regressed(self) -> bool:
+        return self.change > self.tolerance
+
+    @property
+    def improved(self) -> bool:
+        return self.change < -self.tolerance
+
+    def describe(self) -> str:
+        flag = "REGRESSED" if self.regressed else (
+            "improved" if self.improved else "ok"
+        )
+        return (
+            f"{self.name}: {self.old:g} -> {self.new:g} "
+            f"({self.change:+.1%}, tol {self.tolerance:.0%}) {flag}"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """The full old-vs-new verdict of one BENCH file pair."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Metrics present in old but missing from new (treated as failures:
+    #: a benchmark silently losing coverage must not pass the gate).
+    missing: List[str] = field(default_factory=list)
+    #: Metrics new introduces (informational).
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def format_table(self) -> str:
+        lines = []
+        width = max((len(d.name) for d in self.deltas), default=8)
+        for delta in self.deltas:
+            flag = (
+                "REGRESSED"
+                if delta.regressed
+                else ("improved" if delta.improved else "")
+            )
+            change = (
+                f"{delta.change:+8.1%}"
+                if delta.change not in (float("inf"),)
+                else "    +inf"
+            )
+            lines.append(
+                f"  {delta.name.ljust(width)}  {delta.old:>14g}  "
+                f"{delta.new:>14g}  {change}  {flag}".rstrip()
+            )
+        for name in self.missing:
+            lines.append(f"  {name.ljust(width)}  MISSING from new file")
+        for name in self.added:
+            lines.append(f"  {name.ljust(width)}  (new metric)")
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regression(s)"
+            + (f", {len(self.missing)} missing metric(s)" if self.missing else "")
+        )
+        header = (
+            f"  {'metric'.ljust(width)}  {'old':>14}  {'new':>14}  "
+            f"{'change':>8}"
+        )
+        return "\n".join([header] + lines + ["", verdict]) + "\n"
+
+
+def _metric_sections(
+    payload: Dict[str, Any],
+) -> List[Tuple[str, Dict[str, float]]]:
+    """(kind, metrics) sections of one BENCH payload.
+
+    New-style files carry ``{"metrics": {"deterministic": {...},
+    "timing": {...}}}``; legacy flat files are treated as one timing
+    section over their numeric keys.
+    """
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict) and (
+        "deterministic" in metrics or "timing" in metrics
+    ):
+        return [
+            (kind, dict(metrics.get(kind) or {}))
+            for kind in ("deterministic", "timing")
+        ]
+    flat = {
+        name: value
+        for name, value in payload.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return [("timing", flat)]
+
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+    deterministic_tolerance: float = 0.0,
+) -> BenchComparison:
+    """Compare two BENCH payloads; see the module docstring for rules."""
+    comparison = BenchComparison()
+    old_sections = dict(_metric_sections(old))
+    new_sections = dict(_metric_sections(new))
+    for kind in ("deterministic", "timing"):
+        old_metrics = old_sections.get(kind, {})
+        new_metrics = new_sections.get(kind, {})
+        tolerance = (
+            deterministic_tolerance
+            if kind == "deterministic"
+            else timing_tolerance
+        )
+        for name in sorted(old_metrics):
+            if name not in new_metrics:
+                comparison.missing.append(name)
+                continue
+            comparison.deltas.append(
+                MetricDelta(
+                    name=name,
+                    kind=kind,
+                    old=float(old_metrics[name]),
+                    new=float(new_metrics[name]),
+                    tolerance=tolerance,
+                )
+            )
+        comparison.added.extend(
+            sorted(set(new_metrics) - set(old_metrics))
+        )
+    return comparison
+
+
+def compare_bench_files(
+    old_path: str,
+    new_path: str,
+    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+    deterministic_tolerance: float = 0.0,
+) -> BenchComparison:
+    with open(old_path) as fh:
+        old = json.load(fh)
+    with open(new_path) as fh:
+        new = json.load(fh)
+    return compare_bench(
+        old,
+        new,
+        timing_tolerance=timing_tolerance,
+        deterministic_tolerance=deterministic_tolerance,
+    )

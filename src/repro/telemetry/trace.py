@@ -38,6 +38,8 @@ class TraceRecorder:
         #: Fallback timebase for components without a clock: a monotonic
         #: sequence number bumped once per auto-stamped event.
         self._auto_ts = 0.0
+        #: Per-track stacks of open ``begin()`` spans awaiting ``end()``.
+        self._open: Dict[str, List[Dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -51,6 +53,7 @@ class TraceRecorder:
         self._tracks.clear()
         self._auto_ts = 0.0
         self.dropped = 0
+        self._open.clear()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -127,6 +130,65 @@ class TraceRecorder:
             }
         )
 
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        track: str = "sim",
+        **args: Any,
+    ) -> None:
+        """Open a nested duration span (Chrome-trace phase ``B``).
+
+        Pair with :meth:`end` on the same track.  Chrome's B/E events are
+        strictly LIFO per thread, so an out-of-order close simply closes
+        the innermost open span; spans still open at export time are
+        closed with synthetic ``E`` events at the trace's last timestamp.
+        """
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "B",
+            "ts": self._stamp(ts),
+            "pid": 0,
+            "tid": self._tid(track),
+            "args": args,
+        }
+        self._push(event)
+        self._open.setdefault(track, []).append(event)
+
+    def end(self, track: str = "sim", ts: Optional[float] = None) -> None:
+        """Close the innermost open span on *track* (phase ``E``).
+
+        A stray ``end()`` with no open span is ignored rather than
+        corrupting the trace.
+        """
+        if not self.enabled:
+            return
+        stack = self._open.get(track)
+        if not stack:
+            return
+        opened = stack.pop()
+        self._push(
+            {
+                "name": opened["name"],
+                "cat": opened["cat"],
+                "ph": "E",
+                "ts": self._stamp(ts),
+                "pid": 0,
+                "tid": self._tid(track),
+                "args": {},
+            }
+        )
+
+    def open_spans(self, track: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Begin-events not yet closed (all tracks, or one track)."""
+        if track is not None:
+            return list(self._open.get(track, ()))
+        return [event for stack in self._open.values() for event in stack]
+
     def counter_sample(
         self,
         name: str,
@@ -166,8 +228,54 @@ class TraceRecorder:
     def spans_by_category(self, cat: str) -> List[Dict[str, Any]]:
         return [e for e in self._events if e["cat"] == cat and e["ph"] == "X"]
 
+    def filter(
+        self,
+        cat: Optional[str] = None,
+        name: Optional[str] = None,
+        track: Optional[str] = None,
+        ph: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Events matching every given criterion (None = wildcard)."""
+        tid = self._tracks.get(track) if track is not None else None
+        out = []
+        for event in self._events:
+            if cat is not None and event["cat"] != cat:
+                continue
+            if name is not None and event["name"] != name:
+                continue
+            if ph is not None and event["ph"] != ph:
+                continue
+            if track is not None and event["tid"] != tid:
+                continue
+            out.append(event)
+        return out
+
+    def _close_events(self) -> List[Dict[str, Any]]:
+        """Synthetic ``E`` events closing spans still open at export time."""
+        if not any(self._open.values()):
+            return []
+        last_ts = max((e["ts"] for e in self._events), default=0.0)
+        closers: List[Dict[str, Any]] = []
+        for track, stack in self._open.items():
+            for opened in reversed(stack):
+                closers.append(
+                    {
+                        "name": opened["name"],
+                        "cat": opened["cat"],
+                        "ph": "E",
+                        "ts": last_ts,
+                        "pid": 0,
+                        "tid": self._tid(track),
+                        "args": {"auto_closed": True},
+                    }
+                )
+        return closers
+
     def _sorted_events(self) -> List[Dict[str, Any]]:
-        return sorted(self._events, key=lambda e: (e["ts"], e["tid"]))
+        return sorted(
+            self._events + self._close_events(),
+            key=lambda e: (e["ts"], e["tid"]),
+        )
 
     def to_chrome_trace(self, indent: Optional[int] = None) -> str:
         """Chrome-trace JSON (load in chrome://tracing or Perfetto).
@@ -219,11 +327,15 @@ class TraceRecorder:
     # -- scoped-state plumbing (used by ``telemetry.scoped``) ----------
     def _export_state(
         self,
-    ) -> Tuple[bool, List[Dict[str, Any]], Dict[str, int], float, int]:
-        return (self.enabled, self._events, self._tracks, self._auto_ts, self.dropped)
+    ) -> Tuple[bool, List[Dict[str, Any]], Dict[str, int], float, int,
+               Dict[str, List[Dict[str, Any]]]]:
+        return (self.enabled, self._events, self._tracks, self._auto_ts,
+                self.dropped, self._open)
 
     def _restore_state(
-        self, state: Tuple[bool, List[Dict[str, Any]], Dict[str, int], float, int]
+        self,
+        state: Tuple[bool, List[Dict[str, Any]], Dict[str, int], float, int,
+                     Dict[str, List[Dict[str, Any]]]],
     ) -> None:
         (self.enabled, self._events, self._tracks, self._auto_ts,
-         self.dropped) = state
+         self.dropped, self._open) = state

@@ -1,0 +1,45 @@
+"""Smoke test: every ``examples/`` script runs headlessly and exits 0.
+
+Examples are the first code a new user runs; a broken one is a broken
+front door.  Each script is executed in a subprocess (fresh interpreter,
+no shared telemetry state) with the repo's ``src/`` on ``PYTHONPATH``
+and a scratch working directory so any artifact it writes lands in tmp.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_directory_is_populated():
+    assert SCRIPTS, "examples/ must contain runnable scripts"
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_headlessly(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

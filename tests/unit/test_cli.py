@@ -122,3 +122,85 @@ class TestParallelAndCache:
         assert "tcb" in out and "1 entries" in out
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Bad input must exit non-zero with a one-line message, no traceback."""
+
+    def test_trace_missing_script(self, capsys):
+        assert main(["trace", "does/not/exist.py"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip()
+        assert "Traceback" not in err
+
+    def test_trace_failing_script(self, tmp_path, capsys):
+        bad = tmp_path / "boom.py"
+        bad.write_text("raise RuntimeError('kaput')\n")
+        assert main(["trace", str(bad), "--out", str(tmp_path / "t.json")]) == 2
+        err = capsys.readouterr().err
+        assert "kaput" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_non_python_script(self, tmp_path, capsys):
+        bad = tmp_path / "notpy.txt"
+        bad.write_text("this is not python at all {{{\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_profile_unknown_model(self, capsys):
+        assert main(["profile", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "nonesuch" in err
+        assert "Traceback" not in err
+
+    def test_stats_unknown_model(self, capsys):
+        assert main(["stats", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "nonesuch" in err
+        assert "Traceback" not in err
+
+    def test_profile_unknown_diff_base(self, capsys):
+        assert main(["profile", "resnet", "--diff", "warp9"]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_table(self, capsys):
+        assert main(["profile", "resnet", "--analytic",
+                     "--input-size", "56"]) == 0
+        out = capsys.readouterr().out
+        assert "pe.compute" in out
+        assert "total" in out
+
+    def test_profile_diff_baseline(self, capsys):
+        assert main(["profile", "resnet", "--analytic", "--input-size", "56",
+                     "--protection", "snpu", "--diff", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "snpu vs none" in out
+        assert "end-to-end" in out
+
+    def test_profile_folded_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "p.folded"
+        assert main(["profile", "mobilenet", "--analytic",
+                     "--input-size", "56", "--format", "folded",
+                     "--out", str(out_path)]) == 0
+        folded = out_path.read_text()
+        assert folded
+        for line in folded.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert ";" in stack and int(count) >= 0
+
+    def test_profile_json(self, capsys):
+        import json as _json
+
+        assert main(["profile", "alexnet", "--analytic", "--input-size", "56",
+                     "--format", "json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["task"] == "alexnet"
+        assert payload["categories_exact"]
+
+    def test_profile_host(self, capsys):
+        assert main(["profile", "mobilenet", "--analytic",
+                     "--input-size", "56", "--host"]) == 0
+        assert "function calls" in capsys.readouterr().out

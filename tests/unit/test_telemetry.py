@@ -383,3 +383,125 @@ class TestEndToEnd:
             tz.release(tz_handle)
             cats = set(scope.tracer.categories())
         assert {"dma", "iotlb", "guarder", "noc", "scheduler"} <= cats
+
+
+class TestMergeSnapshotsEdgeCases:
+    """Regression tests for merge edge cases (parallel runner)."""
+
+    def test_empty_snapshots_in_list_are_dropped(self):
+        merged = telemetry.merge_snapshots([{}, {"a.n": 1}, {}, {"a.n": 2}])
+        assert merged == {"a.n": 3}
+
+    def test_all_empty_returns_empty(self):
+        assert telemetry.merge_snapshots([{}, {}]) == {}
+
+    def test_zero_count_histogram_does_not_pollute_min(self):
+        """A worker whose histogram saw no samples reports min/max 0.0;
+        those placeholders must not win the cross-worker min/max."""
+        merged = telemetry.merge_snapshots([
+            {"a.lat.count": 0, "a.lat.min": 0.0, "a.lat.max": 0.0,
+             "a.lat.p99": 0.0},
+            {"a.lat.count": 4, "a.lat.min": 2.0, "a.lat.max": 9.0,
+             "a.lat.p99": 8.5},
+        ])
+        assert merged["a.lat.min"] == 2.0
+        assert merged["a.lat.max"] == 9.0
+        assert merged["a.lat.p99"] == 8.5
+        assert merged["a.lat.count"] == 4
+
+    def test_all_zero_count_histograms_keep_placeholder(self):
+        merged = telemetry.merge_snapshots([
+            {"a.lat.count": 0, "a.lat.min": 0.0},
+            {"a.lat.count": 0, "a.lat.min": 0.0},
+        ])
+        assert merged["a.lat.min"] == 0.0
+        assert merged["a.lat.count"] == 0
+
+    def test_histogram_only_snapshot_without_count_sibling(self):
+        """Stat keys with no .count sibling fall back to plain min/max."""
+        merged = telemetry.merge_snapshots([
+            {"a.util.min": 0.2},
+            {"a.util.min": 0.4},
+        ])
+        assert merged["a.util.min"] == 0.2
+
+
+class TestTraceSpans:
+    """Nested begin/end spans and export-time auto-closing."""
+
+    def test_begin_end_pair_emits_b_and_e(self):
+        rec = TraceRecorder(enabled=True)
+        rec.begin("outer", "dma", ts=1.0, track="t")
+        rec.end(track="t", ts=5.0)
+        phases = [(e["ph"], e["name"]) for e in rec.events]
+        assert phases == [("B", "outer"), ("E", "outer")]
+        assert not rec.open_spans()
+
+    def test_nested_spans_close_lifo(self):
+        rec = TraceRecorder(enabled=True)
+        rec.begin("outer", "dma", ts=1.0, track="t")
+        rec.begin("inner", "dma", ts=2.0, track="t")
+        rec.end(track="t", ts=3.0)  # closes inner
+        rec.end(track="t", ts=4.0)  # closes outer
+        closes = [e["name"] for e in rec.events if e["ph"] == "E"]
+        assert closes == ["inner", "outer"]
+
+    def test_stray_end_is_ignored(self):
+        rec = TraceRecorder(enabled=True)
+        rec.end(track="t")
+        rec.begin("s", "dma", track="t")
+        rec.end(track="t")
+        rec.end(track="t")  # extra close: no-op
+        assert [e["ph"] for e in rec.events] == ["B", "E"]
+
+    def test_open_spans_reports_per_track(self):
+        rec = TraceRecorder(enabled=True)
+        rec.begin("a", "dma", track="t1")
+        rec.begin("b", "noc", track="t2")
+        assert len(rec.open_spans()) == 2
+        assert [e["name"] for e in rec.open_spans("t2")] == ["b"]
+
+    def test_spans_open_at_export_are_auto_closed(self):
+        rec = TraceRecorder(enabled=True)
+        rec.begin("outer", "dma", ts=1.0, track="t")
+        rec.begin("inner", "dma", ts=2.0, track="t")
+        rec.span("late", "noc", ts=10.0, dur=1.0, track="u")
+        payload = json.loads(rec.to_chrome_trace())
+        closers = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "E" and e.get("args", {}).get("auto_closed")
+        ]
+        assert len(closers) == 2
+        assert all(e["ts"] == 10.0 for e in closers)
+        # Auto-close is export-only: the buffer still shows them open.
+        assert len(rec.open_spans()) == 2
+
+    def test_empty_trace_exports_valid_chrome_json(self):
+        rec = TraceRecorder(enabled=True)
+        payload = json.loads(rec.to_chrome_trace())
+        assert payload["traceEvents"] == []
+        assert "otherData" in payload
+
+    def test_filter_by_cat_name_track_and_phase(self):
+        rec = TraceRecorder(enabled=True)
+        rec.span("burst", "dma", ts=0.0, dur=1.0, track="dma")
+        rec.span("walk", "iotlb", ts=1.0, dur=2.0, track="mmu")
+        rec.instant("deny", "guarder", ts=2.0, track="mmu")
+        assert [e["name"] for e in rec.filter(cat="dma")] == ["burst"]
+        assert [e["name"] for e in rec.filter(track="mmu")] == ["walk", "deny"]
+        assert [e["name"] for e in rec.filter(ph="i")] == ["deny"]
+        assert rec.filter(cat="iotlb", name="walk", track="mmu", ph="X")
+        assert not rec.filter(cat="iotlb", track="dma")
+
+    def test_disabled_begin_end_noop(self):
+        rec = TraceRecorder(enabled=False)
+        rec.begin("s", "dma", track="t")
+        rec.end(track="t")
+        assert len(rec) == 0 and not rec.open_spans()
+
+    def test_scoped_restores_open_span_stacks(self):
+        telemetry.tracer.reset()
+        with telemetry.scoped() as scope:
+            scope.tracer.begin("s", "dma", track="t")
+            assert scope.tracer.open_spans()
+        assert not telemetry.tracer.open_spans()
