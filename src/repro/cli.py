@@ -9,6 +9,8 @@
     python -m repro experiments fig13 fig14   # regenerate figures
     python -m repro stats resnet           # run + dump the metrics registry
     python -m repro trace examples/quickstart.py   # record a Chrome trace
+    python -m repro flows mobilenet --controller iommu-4 --top 10
+    python -m repro audit --jobs 4 -o audit.jsonl  # security audit ledger
     python -m repro profile resnet --protection snpu --diff baseline
     python -m repro profile resnet --host  # cProfile the simulator itself
     python -m repro bench diff BENCH_profile.json new.json
@@ -95,10 +97,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_protections(values: List[str]) -> Optional[List[str]]:
+    """Validate attack-matrix protection names; None on a bad one.
+
+    (argparse's ``choices`` cannot express "zero or more of these, both
+    when absent": it validates the empty/default list itself.)
+    """
+    values = values or ["none", "snpu"]
+    for value in values:
+        if value not in ("none", "snpu"):
+            print(f"unknown protection {value!r}; choose none or snpu",
+                  file=sys.stderr)
+            return None
+    return values
+
+
 def _cmd_attacks(args: argparse.Namespace) -> int:
     from repro.security.attacks import ALL_ATTACKS, run_all_attacks
 
-    for protection in args.protections:
+    protections = _check_protections(args.protections)
+    if protections is None:
+        return 2
+    for protection in protections:
         print(f"== protection: {protection} ==")
         for result in run_all_attacks(protection):
             outcome = (
@@ -178,7 +198,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             model, secure=args.secure, detailed=args.detailed
         )
         snapshot = scope.metrics.snapshot()
-    if args.json:
+    fmt = args.format or ("json" if args.json else "table")
+    if fmt == "json":
         print(json.dumps(snapshot, indent=2, default=str, sort_keys=True))
         return 0
     print(
@@ -268,12 +289,139 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print()
     total = sum(categories.values())
     cats = ", ".join(f"{c}={n}" for c, n in sorted(categories.items()))
-    print(f"{total} trace events ({cats})")
+    print(f"{total} trace events ({cats}), {dropped} dropped")
     if dropped:
-        print(f"warning: {dropped} events dropped (recorder buffer full)")
+        # The drop count also rides in the trace file itself (otherData
+        # -> dropped_events), so a saved trace declares its own gaps.
+        print(
+            f"warning: {dropped} trace events dropped (recorder buffer "
+            f"full); the trace is incomplete",
+            file=sys.stderr,
+        )
     print(f"trace written to {args.out} "
           f"(open with https://ui.perfetto.dev or chrome://tracing)")
     print(f"metrics written to {metrics_path}")
+    return 0
+
+
+#: Access controllers selectable by ``repro flows --controller``.
+FLOW_CONTROLLERS = ("guarder", "none", "iommu-4", "iommu-8", "iommu-16",
+                    "iommu-32")
+
+
+def _flow_controller(name: str, program):
+    """Build the access controller *name* for a detailed flow run."""
+    from repro.experiments.fig13 import _guarder_for_run, _identity_table
+    from repro.mmu.base import NoProtection
+    from repro.mmu.iommu import IOMMU
+
+    if name == "guarder":
+        return _guarder_for_run()
+    if name == "none":
+        return NoProtection()
+    entries = int(name.split("-", 1)[1])
+    return IOMMU(_identity_table(program), iotlb_entries=entries)
+
+
+def _cmd_flows(args: argparse.Namespace) -> int:
+    """Per-request latency decomposition of one detailed workload run."""
+    from repro.analysis.flows import FlowReport, verify_decomposition
+    from repro.driver.compiler import TilingCompiler
+    from repro.memory.dram import DRAMModel
+    from repro.npu.core import NPUCore
+
+    model = _resolve_model(args.model, args.input_size)
+    if model is None:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
+        return 2
+    config = NPUConfig.paper_default()
+    program = TilingCompiler(config).compile(model)
+    with telemetry.scoped(
+        trace=bool(args.trace), profile=False, flow=True
+    ) as scope:
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        controller = _flow_controller(args.controller, program)
+        NPUCore(config, controller, dram).run_detailed(program)
+        records = scope.flows.records
+        dropped = scope.flows.dropped
+        trace_payload = (
+            scope.tracer.to_chrome_trace(indent=2) if args.trace else None
+        )
+    # The decomposition invariant holds for every completed flow; a
+    # breach here is a simulator bug, not a reporting artifact.
+    verify_decomposition(records)
+    report = FlowReport(records, top=args.top, stage=args.stage)
+    if args.stage and args.stage not in report.stages and not report.records:
+        print(f"no flow contains stage {args.stage!r}", file=sys.stderr)
+    if dropped:
+        print(f"warning: {dropped} flows dropped (tracker cap reached); "
+              f"the report is incomplete", file=sys.stderr)
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(trace_payload)
+        print(f"flow trace written to {args.trace} "
+              f"(open with https://ui.perfetto.dev)", file=sys.stderr)
+    _emit(report.render(args.format), args.out)
+    return 0
+
+
+def _audit_worker(item):
+    """Run one (protection, attack) cell; returns (origin, records).
+
+    Module-level so ``repro audit --jobs N`` can ship it to a pool
+    worker; each attack runs under its own telemetry scope and carries
+    its ledger records out in the result.
+    """
+    protection, name = item
+    from repro.security.attacks import ALL_ATTACKS
+
+    result = ALL_ATTACKS[name](protection)
+    return f"{protection}/{name}", result.audit_records
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Replay the attack matrix and emit the merged audit ledger."""
+    from repro.security.attacks import ALL_ATTACKS
+    from repro.telemetry.audit import AuditLedger
+
+    protections = _check_protections(args.protections)
+    if protections is None:
+        return 2
+    items = [
+        (protection, name)
+        for protection in protections
+        for name in ALL_ATTACKS
+    ]
+    if args.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sim.worker import init_worker
+
+        with ProcessPoolExecutor(
+            max_workers=args.jobs, initializer=init_worker
+        ) as pool:
+            produced = list(pool.map(_audit_worker, items))
+    else:
+        produced = [_audit_worker(item) for item in items]
+
+    # Each cell ingests under a stable origin, so the merged ledger's
+    # bytes are identical however many workers produced it.
+    ledger = AuditLedger(enabled=True)
+    for origin, records in produced:
+        ledger.ingest(records, origin=origin)
+
+    if args.format == "summary":
+        lines = [f"audit ledger: {len(ledger)} records from "
+                 f"{len(items)} attack runs"]
+        width = max((len(k) for k in ledger.kinds()), default=0)
+        for kind, count in ledger.kinds().items():
+            denies = len(ledger.find(kind=kind, decision="deny"))
+            lines.append(f"  {kind.ljust(width)}  {count:4d} records"
+                         + (f"  ({denies} denies)" if denies else ""))
+        _emit("\n".join(lines) + "\n", args.out)
+    else:
+        _emit(ledger.to_jsonl(), args.out)
     return 0
 
 
@@ -422,10 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_attacks = sub.add_parser("attacks", help="execute the attack matrix")
-    p_attacks.add_argument(
-        "protections", nargs="*", default=["none", "snpu"],
-        choices=("none", "snpu"),
-    )
+    p_attacks.add_argument("protections", nargs="*", metavar="PROTECTION",
+                           help="none and/or snpu (default: both)")
     p_attacks.set_defaults(func=_cmd_attacks)
 
     p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
@@ -480,7 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulate every DMA descriptor (slower)")
     p_stats.add_argument("--input-size", type=int, default=112)
     p_stats.add_argument("--json", action="store_true",
-                         help="emit the snapshot as JSON")
+                         help="emit the snapshot as JSON (same as "
+                              "--format json)")
+    p_stats.add_argument("--format", choices=("table", "json"), default=None,
+                         help="output format (default table)")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_trace = sub.add_parser(
@@ -497,6 +646,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--timeline", action="store_true",
                          help="also print a plain-text timeline")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_flows = sub.add_parser(
+        "flows",
+        help="per-request latency decomposition of a detailed run",
+    )
+    p_flows.add_argument("model", help=", ".join(zoo.MODEL_BUILDERS))
+    p_flows.add_argument(
+        "--controller", choices=FLOW_CONTROLLERS, default="guarder",
+        help="access-control mechanism on the DMA path (default guarder)",
+    )
+    p_flows.add_argument("--top", type=int, default=10, metavar="K",
+                         help="slowest flows to list (default 10)")
+    p_flows.add_argument(
+        "--stage", default=None, metavar="NAME",
+        help="only flows containing this stage; rank the top-K by its span",
+    )
+    p_flows.add_argument("--format", choices=("table", "md", "json"),
+                         default="table")
+    p_flows.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="write the report here instead of stdout")
+    p_flows.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also write a Chrome-trace with flow arrows (Perfetto)",
+    )
+    p_flows.add_argument("--input-size", type=int, default=112)
+    p_flows.set_defaults(func=_cmd_flows)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="replay the attack matrix and emit the security audit ledger",
+    )
+    p_audit.add_argument("protections", nargs="*", metavar="PROTECTION",
+                         help="none and/or snpu (default: both)")
+    p_audit.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="run attacks across N worker processes (default 1; the "
+             "ledger bytes are identical for any N)",
+    )
+    p_audit.add_argument("--format", choices=("jsonl", "summary"),
+                         default="summary")
+    p_audit.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="write the ledger here instead of stdout")
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_prof = sub.add_parser(
         "profile",

@@ -169,6 +169,10 @@ class DmaRequest:
     #: simulator batches a block's uniform descriptors into one request and
     #: lets register-based checkers account one check per descriptor.
     sub_requests: int = 1
+    #: Flow ID stamped by the DMA engine at issue time (when flow tracing
+    #: is enabled); access controllers and the memory hierarchy use it to
+    #: annotate and audit the request end-to-end.  None = untracked.
+    flow_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:

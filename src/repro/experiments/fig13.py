@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.common.types import AddressRange, Permission, World
 from repro.driver.compiler import TilingCompiler
 from repro.experiments.runner import ExperimentResult
@@ -99,6 +100,19 @@ def run(
     reqs.notes.append(
         f"mean request ratio {mean_ratio:.1%} (paper: ~5% of IOMMU requests)"
     )
+    if telemetry.flows.enabled:
+        # Per-request view of the same mechanism difference: the run's
+        # DMA flows decompose into queueing/service/security exactly, and
+        # the security share is where the IOMMU's walks land.
+        from repro.analysis.flows import FlowReport
+
+        report = FlowReport(telemetry.flows.records)
+        perf.notes.append(
+            f"flow tracing: {len(report.records)} DMA flows, security "
+            f"share {float(report.security / report.total) if report.total else 0.0:.1%}, "
+            f"slowest-decile security share "
+            f"{report.decile_security_share():.1%}"
+        )
     return perf, reqs
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro import telemetry
-from repro.common.types import PAGE_SIZE
+from repro.common.types import PAGE_SIZE, DmaRequest
 from repro.errors import ConfigError
 from repro.sim.resources import BandwidthResource
 
@@ -92,6 +92,12 @@ class DRAMModel:
     def walk_access_cycles(self) -> float:
         """Latency of one serialized page-table access."""
         return float(self.access_latency)
+
+    def record_flow(self, request: DmaRequest, nbytes: float) -> None:
+        """Annotate *request*'s flow with the bytes it moved on this channel."""
+        flows = telemetry.flows
+        if flows.enabled and request.flow_id is not None:
+            flows.accumulate(request.flow_id, "dram_bytes", float(nbytes))
 
     @property
     def resident_bytes(self) -> int:

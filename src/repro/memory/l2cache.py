@@ -89,7 +89,12 @@ class L2Cache:
         for sector in sectors:
             if self._touch(sector):
                 hit_bytes += per_sector
-        return hit_bytes, request.size - hit_bytes
+        miss_bytes = request.size - hit_bytes
+        flows = telemetry.flows
+        if flows.enabled and request.flow_id is not None:
+            flows.accumulate(request.flow_id, "l2_hit_bytes", hit_bytes)
+            flows.accumulate(request.flow_id, "l2_miss_bytes", miss_bytes)
+        return hit_bytes, miss_bytes
 
     def transfer_cycles(self, hit_bytes: float) -> float:
         """Service time of the hit portion at L2 bandwidth."""

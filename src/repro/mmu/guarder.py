@@ -117,12 +117,25 @@ class NPUGuarder(AccessController):
         attempting it faults.
         """
         if issuer is not World.SECURE:
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "privilege.deny", "deny", world=issuer.name,
+                    op="guarder.set_checking_register", index=index,
+                )
             raise PrivilegeError(
                 "checking registers can only be programmed by the secure world"
             )
         self._check_index(index, self.checking, "checking")
         self.checking[index] = CheckingRegister(range=range_, perm=perm, world=world)
         self.checking_writes += 1
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "guarder.program", "allow", world=issuer.name,
+                register="checking", index=index, region_world=world.name,
+                base=range_.base, size=range_.size,
+            )
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(
@@ -146,6 +159,12 @@ class NPUGuarder(AccessController):
             raise ConfigError(f"translation register size must be positive, got {size}")
         self.translation[index] = TranslationRegister(vbase=vbase, pbase=pbase, size=size)
         self.translation_writes += 1
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "guarder.program", "allow",
+                register="translation", index=index, size=size,
+            )
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(
@@ -170,18 +189,27 @@ class NPUGuarder(AccessController):
     # ------------------------------------------------------------------
     # The datapath
     # ------------------------------------------------------------------
-    def _find_translation(self, vaddr: int, size: int) -> TranslationRegister:
+    def _find_translation(
+        self, vaddr: int, size: int, request: DmaRequest
+    ) -> TranslationRegister:
         for reg in self.translation:
             if reg is not None and reg.covers(vaddr, size):
                 return reg
         self.stats.violations += 1
-        self._trace_denial("translation_miss", vaddr)
+        self._trace_denial("translation_miss", vaddr, request)
         raise TranslationFault(
             f"Guarder: no translation register covers "
             f"[{vaddr:#x}, {vaddr + size:#x})"
         )
 
-    def _trace_denial(self, reason: str, addr: int) -> None:
+    def _trace_denial(self, reason: str, addr: int, request: DmaRequest) -> None:
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "guarder.deny", "deny", world=request.world.name,
+                flow=request.flow_id, reason=reason, addr=addr,
+                stream=request.stream,
+            )
         tracer = telemetry.tracer
         if tracer.enabled:
             tracer.instant(
@@ -196,7 +224,7 @@ class NPUGuarder(AccessController):
                 if reg.allows(need, request.world):
                     return
                 self.stats.violations += 1
-                self._trace_denial("permission", paddr)
+                self._trace_denial("permission", paddr, request)
                 raise AccessViolation(
                     f"Guarder: checking register denies {need!r} by "
                     f"{request.world.name} at [{paddr:#x}, {paddr + size:#x}) "
@@ -204,7 +232,7 @@ class NPUGuarder(AccessController):
                 )
         # Default deny: a physical range no register covers is unreachable.
         self.stats.violations += 1
-        self._trace_denial("uncovered", paddr)
+        self._trace_denial("uncovered", paddr, request)
         raise AccessViolation(
             f"Guarder: no checking register covers [{paddr:#x}, {paddr + size:#x})"
         )
@@ -222,9 +250,16 @@ class NPUGuarder(AccessController):
             span = (request.rows - 1) * request.row_stride + request.row_bytes
         else:
             span = request.size
-        reg = self._find_translation(request.vaddr, span)
+        reg = self._find_translation(request.vaddr, span, request)
         pbase = reg.translate(request.vaddr)
         self._check_physical(pbase, span, request)
+        audit = telemetry.audit
+        if audit.enabled and audit.verbose:
+            audit.record(
+                "guarder.check", "allow", world=request.world.name,
+                flow=request.flow_id, stream=request.stream,
+                vaddr=request.vaddr, size=request.size,
+            )
 
         runs = [
             (reg.translate(vaddr), size) for vaddr, size in request.row_ranges()

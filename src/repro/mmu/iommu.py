@@ -153,6 +153,10 @@ class IOMMU(AccessController):
             self.stats.walk_cycles += stall
             self._pending_walk_cycles += stall
             telemetry.profiler.count("iotlb.walks")
+            flows = telemetry.flows
+            if flows.enabled and request.flow_id is not None:
+                flows.accumulate(request.flow_id, "iotlb_walks", 1)
+                flows.accumulate(request.flow_id, "walk_cycles", stall)
             tracer = telemetry.tracer
             if tracer.enabled:
                 tracer.span(
@@ -163,6 +167,7 @@ class IOMMU(AccessController):
             pte = self.page_table.lookup(vpage)
             if pte is None:
                 self.stats.violations += 1
+                self._audit_deny(request, "unmapped", vpage)
                 raise TranslationFault(
                     f"IOMMU: no mapping for vpage {vpage:#x} "
                     f"({request.stream} {'write' if request.is_write else 'read'})"
@@ -170,15 +175,26 @@ class IOMMU(AccessController):
             self.iotlb.insert(vpage, pte)
         return pte
 
+    def _audit_deny(self, request: DmaRequest, reason: str, vpage: int) -> None:
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "iommu.deny", "deny", world=request.world.name,
+                flow=request.flow_id, reason=reason, vpage=vpage,
+                stream=request.stream, controller=self.name,
+            )
+
     def _check_pte(self, pte: PageTableEntry, request: DmaRequest, vpage: int) -> None:
         need = self.required_permission(request)
         if not pte.perm.allows(need):
             self.stats.violations += 1
+            self._audit_deny(request, "permission", vpage)
             raise AccessViolation(
                 f"IOMMU: permission {pte.perm!r} denies {need!r} on vpage {vpage:#x}"
             )
         if self.enforce_world and not self._world_allows(pte.world, request.world):
             self.stats.violations += 1
+            self._audit_deny(request, "world", vpage)
             raise AccessViolation(
                 f"IOMMU: world {request.world.name} cannot access "
                 f"{pte.world.name} vpage {vpage:#x}"

@@ -59,6 +59,12 @@ class TrustZoneSMMU(IOMMU):
             self.world_switches += 1
             telemetry.profiler.count("smmu.world_switches")
             self.invalidate_iotlb()
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "smmu.world_switch", "allow",
+                    world=world.name, from_world=self.device_world.name,
+                )
             self.device_world = world
             tracer = telemetry.tracer
             if tracer.enabled:
@@ -74,6 +80,7 @@ class TrustZoneSMMU(IOMMU):
         # initiator world is the device's.
         if request.world is World.SECURE and self.device_world is World.NORMAL:
             self.stats.violations += 1
+            self._audit_deny(request, "device_world", request.vaddr // 4096)
             raise AccessViolation(
                 "TrustZone sMMU: secure task offloaded while the NPU is a "
                 "normal-world device"

@@ -118,7 +118,18 @@ class NPUMonitor:
         self._require_boot()
         if program.world is not World.SECURE:
             raise ConfigError("submit() only accepts secure programs")
-        measurement = self.verifier.verify_program(program, expected_measurement)
+        audit = telemetry.audit
+        try:
+            measurement = self.verifier.verify_program(
+                program, expected_measurement
+            )
+        except Exception as exc:
+            if audit.enabled:
+                audit.record(
+                    "monitor.submit", "deny", world=World.SECURE.name,
+                    task=program.task_name, reason=type(exc).__name__,
+                )
+            raise
         if encrypted_model is not None:
             if model_key is None:
                 raise ConfigError("encrypted model without a key")
@@ -145,6 +156,11 @@ class NPUMonitor:
         )
         self.queue.enqueue(task)
         self._m_submitted.inc()
+        if audit.enabled:
+            audit.record(
+                "monitor.submit", "allow", world=World.SECURE.name,
+                task=program.task_name, task_id=task_id,
+            )
         telemetry.profiler.count("monitor.submits")
         tracer = telemetry.tracer
         if tracer.enabled:
@@ -159,10 +175,16 @@ class NPUMonitor:
         task = self.queue.dequeue()
         if task is None:
             raise ConfigError("secure task queue is empty")
+        audit = telemetry.audit
         try:
             self.loader.load(task, core_ids)
-        except Exception:
+        except Exception as exc:
             self.queue.enqueue(task)  # leave the task schedulable
+            if audit.enabled:
+                audit.record(
+                    "monitor.schedule", "deny", world=World.SECURE.name,
+                    task_id=task.task_id, reason=type(exc).__name__,
+                )
             raise
         scheduled = ScheduledSecureTask(task=task, core_ids=list(core_ids))
         # One chunk mapping serves the whole task; every scheduled core's
@@ -172,6 +194,11 @@ class NPUMonitor:
         for core_id in core_ids:
             self.context_setter.set_core_secure(self._core(core_id))
         self._m_scheduled.inc()
+        if audit.enabled:
+            audit.record(
+                "monitor.schedule", "allow", world=World.SECURE.name,
+                task_id=task.task_id, cores=list(core_ids),
+            )
         telemetry.profiler.count("monitor.schedules")
         tracer = telemetry.tracer
         if tracer.enabled:
@@ -194,6 +221,12 @@ class NPUMonitor:
             self.domains.release(scheduled.task.domain)
         scheduled.task.chunks = {}
         self._m_completed.inc()
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "monitor.complete", "allow", world=World.SECURE.name,
+                task_id=scheduled.task.task_id,
+            )
         telemetry.profiler.count("monitor.completions")
         tracer = telemetry.tracer
         if tracer.enabled:

@@ -35,6 +35,10 @@ class Flit:
     #: Sender identity carried only by the head flit (the peephole field).
     auth_world: Optional[World] = None
     seq: int = 0
+    #: Flow ID of the packet this flit belongs to (telemetry sideband;
+    #: every flit of a packet carries it so a multi-hop trace can stitch
+    #: the wormhole back together).  None = flow tracing off.
+    flow_id: Optional[int] = None
 
 
 @dataclass
@@ -50,6 +54,8 @@ class Packet:
     nbytes: int
     world: World
     route: Tuple[int, int] = (0, 0)
+    #: Flow ID allocated at injection; stamped onto every flit.
+    flow_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -66,6 +72,7 @@ class Packet:
                 payload_bytes=min(self.nbytes, flit_bytes),
                 auth_world=self.world,
                 seq=0,
+                flow_id=self.flow_id,
             )
         ]
         for i in range(n_body):
@@ -77,6 +84,7 @@ class Packet:
                     dst=self.dst,
                     payload_bytes=min(remaining, flit_bytes),
                     seq=i + 1,
+                    flow_id=self.flow_id,
                 )
             )
         if len(out) == 1:

@@ -111,6 +111,8 @@ class WormholeNetwork:
             raise ConfigError("negative transfer size or arrival time")
         links = self._links(src, dst)
         n_flits = max(1, -(-nbytes // self.flit_bytes))
+        flows = telemetry.flows
+        flow_id = flows.allocate() if flows.enabled else None
 
         # The head may start once every path link is free (greedy grant).
         start = arrival
@@ -128,6 +130,14 @@ class WormholeNetwork:
                 start=start, finish=head_at_dst, rejected=True,
             )
             self.outcomes.append(outcome)
+            flows.abort(flow_id)
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "noc.deny", "deny", cycle=arrival,
+                    world=self.worlds[src].name, flow=flow_id,
+                    reason="world_mismatch", router=dst, src=src,
+                )
             raise NoCAuthError(
                 f"network: core {dst} ({self.worlds[dst].name}) rejected "
                 f"packet from core {src} ({self.worlds[src].name})"
@@ -142,6 +152,24 @@ class WormholeNetwork:
             start=start, finish=finish,
         )
         self.outcomes.append(outcome)
+        if flows.enabled and flow_id is not None:
+            # Real queueing here: link arbitration holds the head at the
+            # injection port until the whole path is free.
+            flows.complete(
+                flow_id, "noc", arrival, outcome.latency,
+                parts=[
+                    ("inject", "queueing", outcome.queueing),
+                    ("route", "service", len(links) * self.hop_cycles),
+                    ("peephole", "security", 0.0),
+                    ("serialization", "service", float(n_flits)),
+                ],
+                residual=("serialization", "service"),
+                world=self.worlds[src].name,
+                stream=f"{src}->{dst}",
+                nbytes=nbytes,
+                context="noc.network",
+                track="noc",
+            )
         return outcome
 
     # ------------------------------------------------------------------

@@ -64,6 +64,12 @@ class RouterController:
     def set_world(self, world: World, issuer: World) -> None:
         """The router's identity follows the core's ID state (secure insn)."""
         if issuer is not World.SECURE:
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "privilege.deny", "deny", world=issuer.name,
+                    op="router.set_world", router=self.core_id,
+                )
             raise PrivilegeError("router identity follows the core's secure ID state")
         self.world = world
 
@@ -71,26 +77,57 @@ class RouterController:
         """Unlock the receive channel (task teardown, via the Monitor)."""
         if self.locked_src is not None and self.world is World.SECURE:
             if issuer is not World.SECURE:
+                audit = telemetry.audit
+                if audit.enabled:
+                    audit.record(
+                        "privilege.deny", "deny", world=issuer.name,
+                        op="router.release_channel", router=self.core_id,
+                    )
                 raise PrivilegeError("a secure channel is released by the secure world")
+        if self.locked_src is not None:
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "noc.release", "allow", world=self.world.name,
+                    router=self.core_id, src=self.locked_src,
+                )
         self.locked_src = None
 
     # ------------------------------------------------------------------
+    def _audit_reject(self, packet: Packet, reason: str) -> None:
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "noc.deny", "deny", world=packet.world.name,
+                flow=packet.flow_id, reason=reason,
+                router=self.core_id, src=packet.src,
+            )
+
     def authenticate(self, packet: Packet) -> None:
         """Receive-engine peephole check on the head flit."""
         if self.fabric.policy is not NoCPolicy.PEEPHOLE:
             return
         if packet.world is not self.world:
             self.stats.packets_rejected += 1
+            self._audit_reject(packet, "world_mismatch")
             raise NoCAuthError(
                 f"router {self.core_id} ({self.world.name}) rejected packet "
                 f"from core {packet.src} ({packet.world.name})"
             )
         if self.locked_src is not None and self.locked_src != packet.src:
             self.stats.packets_rejected += 1
+            self._audit_reject(packet, "channel_locked")
             raise NoCAuthError(
                 f"router {self.core_id} channel is locked to core "
                 f"{self.locked_src}; core {packet.src} rejected"
             )
+        if self.locked_src is None:
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "noc.grant", "allow", world=packet.world.name,
+                    flow=packet.flow_id, router=self.core_id, src=packet.src,
+                )
         self.locked_src = packet.src
 
 
@@ -159,14 +196,21 @@ class NoCFabric:
         """
         sender = self.routers[src]
         receiver = self.routers[dst]
+        flows = telemetry.flows
         packet = Packet(
             src=src,
             dst=dst,
             nbytes=nbytes,
             world=sender.world,
             route=self.mesh.route(src, dst),
+            flow_id=flows.allocate() if flows.enabled else None,
         )
         start = self.engine.now
+        audit = telemetry.audit
+        if audit.enabled:
+            # Peephole decisions fire inside the event loop; stamp them
+            # with the injection time of this packet.
+            audit.clock = start
         outcome: Dict[str, object] = {}
 
         def head_arrives() -> None:
@@ -176,6 +220,7 @@ class NoCFabric:
             except NoCAuthError as exc:
                 outcome["error"] = exc
                 sender.state = RouterState.IDLE
+                flows.abort(packet.flow_id)
                 telemetry.profiler.count("noc.rejects")
                 tracer = telemetry.tracer
                 if tracer.enabled:
@@ -212,6 +257,27 @@ class NoCFabric:
                     dur=self.engine.now - start, track="noc",
                     bytes=nbytes, flits=packet.n_flits(self.flit_bytes),
                     world=packet.world.name,
+                )
+            if flows.enabled and packet.flow_id is not None:
+                hop = self.mesh.hops(src, dst) * self.hop_cycles
+                duration = self.engine.now - start
+                # Peephole authentication rides the head flit's normal
+                # processing — zero cycles of security time by design
+                # (Fig. 16); the zero-width span is kept in the parts
+                # list so the decomposition names the stage explicitly.
+                flows.complete(
+                    packet.flow_id, "noc", start, duration,
+                    parts=[
+                        ("route", "service", min(hop, duration)),
+                        ("peephole", "security", 0.0),
+                        ("serialization", "service", max(duration - hop, 0.0)),
+                    ],
+                    residual=("serialization", "service"),
+                    world=packet.world.name,
+                    stream=f"{src}->{dst}",
+                    nbytes=nbytes,
+                    context="noc",
+                    track="noc",
                 )
 
         sender.state = RouterState.PEEPHOLE  # generate the identity

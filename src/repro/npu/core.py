@@ -159,6 +159,12 @@ class NPUCore:
         :class:`~repro.errors.PrivilegeError`.
         """
         if issuer is not World.SECURE:
+            audit = telemetry.audit
+            if audit.enabled:
+                audit.record(
+                    "privilege.deny", "deny", world=issuer.name,
+                    op="core.set_world", core=self.core_id,
+                )
             raise PrivilegeError(
                 "set_world is a secure instruction; the normal-world driver "
                 "cannot change the NPU core's ID state"
@@ -386,6 +392,9 @@ class NPUCore:
         flush_total = 0.0
         try:
             for i, layer in enumerate(program.layers):
+                # Flow records born in this layer carry its name, which is
+                # what the per-layer critical-path report groups by.
+                self.dma.flow_context = layer.name
                 if profiling:
                     dma_stats, ctrl_stats = self.dma.stats, self.controller.stats
                     stall0 = dma_stats.stall_cycles

@@ -117,6 +117,9 @@ class DMAEngine:
         #: Cycle cursor of this engine's private timeline (sum of transfer
         #: latencies); the timebase for its telemetry spans.
         self.cursor = 0.0
+        #: Issuing context stamped onto flow records (the NPU core sets it
+        #: to the current layer name on the detailed timing path).
+        self.flow_context = ""
         tel = telemetry.metrics.group("npu.dma")
         self._track = tel.prefix.replace("npu.", "")
         tel.bind("requests", self.stats, "requests")
@@ -142,7 +145,17 @@ class DMAEngine:
         the caller — a blocked DMA never moves data nor time.
         """
         request = transfer.request
-        outcome = self.controller.handle(request)
+        flows = telemetry.flows
+        request.flow_id = flows.allocate() if flows.enabled else None
+        audit = telemetry.audit
+        if audit.enabled:
+            # Downstream denials are stamped with this request's time.
+            audit.clock = self.cursor
+        try:
+            outcome = self.controller.handle(request)
+        except Exception:
+            flows.abort(request.flow_id)
+            raise
 
         self.stats.requests += request.sub_requests
         self.stats.packets += request.num_packets
@@ -157,11 +170,14 @@ class DMAEngine:
             stream_cycles = self.l2.transfer_cycles(
                 hit_bytes
             ) + self.dram.transfer_cycles(miss_bytes, share)
+            self.dram.record_flow(request, miss_bytes)
         else:
             stream_cycles = self.dram.transfer_cycles(request.size, share)
+            self.dram.record_flow(request, request.size)
         cycles = self.ISSUE_CYCLES + outcome.extra_cycles + stream_cycles
         self.stats.issue_cycles += self.ISSUE_CYCLES
         self.stats.stream_cycles += stream_cycles
+        crypto = 0.0
         if self.encryption is not None:
             crypto = self.encryption.extra_cycles(request.size)
             cycles += crypto
@@ -174,6 +190,27 @@ class DMAEngine:
                 track=self._track, bytes=request.size,
                 rw="W" if request.is_write else "R",
                 stalls=outcome.extra_cycles,
+            )
+        if flows.enabled and request.flow_id is not None:
+            # Span chain on this engine's timeline: descriptor issue, the
+            # controller's security stalls (page walks; zero under the
+            # Guarder), the memory stream, then the encryption engine.
+            # split_exact inside complete() guarantees the components sum
+            # bit-exactly to this transfer's end-to-end latency.
+            flows.complete(
+                request.flow_id, "dma", self.cursor, cycles,
+                parts=[
+                    ("issue", "service", self.ISSUE_CYCLES),
+                    ("security", "security", outcome.extra_cycles),
+                    ("memory", "service", stream_cycles),
+                    ("crypto", "service", crypto),
+                ],
+                residual=("memory", "service"),
+                world=request.world.name,
+                stream=request.stream,
+                nbytes=request.size,
+                context=self.flow_context,
+                track=self._track,
             )
         self.cursor += cycles
         self._h_transfer.observe(cycles, cycle=self.cursor)

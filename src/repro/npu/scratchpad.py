@@ -106,6 +106,17 @@ class Scratchpad:
                 f"0..{self.lines}"
             )
 
+    def _audit_deny(
+        self, reason: str, line: int, nlines: int, world: World
+    ) -> None:
+        audit = telemetry.audit
+        if audit.enabled:
+            audit.record(
+                "spad.deny", "deny", world=world.name,
+                reason=reason, line=line, nlines=nlines,
+                scope="global" if self.shared else "local",
+            )
+
     def _check_partition(self, line: int, nlines: int, world: World) -> None:
         if world is World.SECURE:
             ok = line + nlines <= self.partition_boundary
@@ -113,6 +124,7 @@ class Scratchpad:
             ok = line >= self.partition_boundary
         if not ok:
             self.violations += 1
+            self._audit_deny("partition", line, nlines, world)
             raise PartitionViolation(
                 f"{world.name} access to lines [{line}, {line + nlines}) "
                 f"crosses partition boundary {self.partition_boundary}"
@@ -131,6 +143,7 @@ class Scratchpad:
                 # lines; secure reads promote lines to secure.
                 if world is not World.SECURE and ids.any():
                     self.violations += 1
+                    self._audit_deny("id_read", line, nlines, world)
                     raise ScratchpadIsolationError(
                         f"non-secure read of secure global scratchpad lines "
                         f"[{line}, {line + nlines})"
@@ -141,6 +154,7 @@ class Scratchpad:
                 # Local scratchpad: read requires ID match.
                 if not (ids == int(world)).all():
                     self.violations += 1
+                    self._audit_deny("id_mismatch", line, nlines, world)
                     raise ScratchpadIsolationError(
                         f"{world.name} read of lines [{line}, {line + nlines}) "
                         f"with mismatched ID state"
@@ -166,6 +180,7 @@ class Scratchpad:
                 ids = self.id_state[line : line + nlines]
                 if world is not World.SECURE and ids.any():
                     self.violations += 1
+                    self._audit_deny("id_write", line, nlines, world)
                     raise ScratchpadIsolationError(
                         f"non-secure write to secure global scratchpad lines "
                         f"[{line}, {line + nlines})"

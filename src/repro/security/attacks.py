@@ -16,12 +16,20 @@ Covered attack surfaces:
 5. the untrusted driver programming secure context (§IV-C),
 6. tampered task code caught by measurement,
 7. wrong NoC topology caught by the secure loader's route-integrity check.
+
+Each attack runs under a fresh telemetry scope with the **audit ledger**
+enabled and carries the scope's records out in
+``AttackResult.audit_records``; :func:`assert_expected_audit` corroborates
+a blocked verdict against the ledger (right denial kind, right world,
+flow ID present where the denial judged a tracked request).  The physical
+cold-boot attack has no audit expectation — it reads DRAM below every
+access-control check, which is precisely its point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +71,9 @@ class AttackResult:
     succeeded: bool
     blocked_by: Optional[str] = None
     detail: str = ""
+    #: Audit-ledger records produced while the attack ran (the blocked
+    #: verdict's corroborating evidence; see :func:`assert_expected_audit`).
+    audit_records: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _pad_lines(data: bytes, line_bytes: int) -> np.ndarray:
@@ -81,7 +92,7 @@ def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
     attempt must show up as ``mmu.guarder.denials`` — the same counter an
     operator would alert on in production.
     """
-    with telemetry.scoped(trace=False) as scope:
+    with telemetry.scoped(trace=False, flow=True) as scope:
         config = NPUConfig.paper_default()
         memmap = MemoryMap.default()
         dram = DRAMModel(config.dram_bytes_per_cycle)
@@ -119,11 +130,13 @@ def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
                 "dma_steal_secure_memory", protection, succeeded=False,
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [guarder.denials={denials}]",
+                audit_records=scope.audit.records,
             )
         stolen = spad.raw_peek(0, 3).reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "dma_steal_secure_memory", protection, succeeded=stolen == SECRET,
             detail=f"read {stolen[:16]!r}...",
+            audit_records=scope.audit.records,
         )
 
 
@@ -159,11 +172,13 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
                 "leftoverlocals", protection, succeeded=False,
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [scratchpad.violations={violations}]",
+                audit_records=scope.audit.records,
             )
         stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "leftoverlocals", protection, succeeded=stolen == SECRET,
             detail=f"recovered {stolen[:16]!r}...",
+            audit_records=scope.audit.records,
         )
 
 
@@ -196,11 +211,13 @@ def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
                 "global_spad_cotenant", protection, succeeded=False,
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [scratchpad.violations={violations}]",
+                audit_records=scope.audit.records,
             )
         stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "global_spad_cotenant", protection, succeeded=stolen == SECRET,
             detail="read and overwrote secure lines",
+            audit_records=scope.audit.records,
         )
 
 
@@ -210,7 +227,7 @@ def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
 def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
     """A compromised scheduler routes a secure core's intermediate
     results to a core the attacker controls (Fig. 7)."""
-    with telemetry.scoped(trace=False) as scope:
+    with telemetry.scoped(trace=False, flow=True) as scope:
         config = NPUConfig.paper_default()
         mesh = Mesh(2, 2)
         policy = (
@@ -234,6 +251,7 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
                 "noc_route_hijack", protection, succeeded=False,
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [noc.packets_rejected={rejected}]",
+                audit_records=scope.audit.records,
             )
         # The verdict comes from the fabric-wide registry metric, not a
         # router's private stats object.
@@ -241,6 +259,7 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
         return AttackResult(
             "noc_route_hijack", protection, succeeded=received > 0,
             detail=f"attacker core received {received} packet(s)",
+            audit_records=scope.audit.records,
         )
 
 
@@ -250,28 +269,31 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
 def attack_driver_sets_secure_context(protection: str = "snpu") -> AttackResult:
     """The normal-world driver tries to flip a core secure and rewrite the
     checking registers (so its task could pass the Guarder)."""
-    config = NPUConfig.paper_default()
-    guarder = NPUGuarder()
-    core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
-    try:
-        core.set_world(World.SECURE, issuer=World.NORMAL)
-        guarder.set_checking_register(
-            0,
-            AddressRange(0, 1 << 40),
-            Permission.RW,
-            World.NORMAL,
-            issuer=World.NORMAL,
-        )
-    except PrivilegeError as exc:
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        guarder = NPUGuarder()
+        core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
+        try:
+            core.set_world(World.SECURE, issuer=World.NORMAL)
+            guarder.set_checking_register(
+                0,
+                AddressRange(0, 1 << 40),
+                Permission.RW,
+                World.NORMAL,
+                issuer=World.NORMAL,
+            )
+        except PrivilegeError as exc:
+            return AttackResult(
+                "driver_sets_secure_context", protection, succeeded=False,
+                blocked_by=type(exc).__name__, detail=str(exc),
+                audit_records=scope.audit.records,
+            )
         return AttackResult(
-            "driver_sets_secure_context", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+            "driver_sets_secure_context", protection,
+            succeeded=core.world is World.SECURE,
+            detail="driver obtained a secure core",
+            audit_records=scope.audit.records,
         )
-    return AttackResult(
-        "driver_sets_secure_context", protection,
-        succeeded=core.world is World.SECURE,
-        detail="driver obtained a secure core",
-    )
 
 
 # ----------------------------------------------------------------------
@@ -281,33 +303,36 @@ def attack_tampered_task_code(protection: str = "snpu") -> AttackResult:
     """The driver swaps the verified program for a tampered one."""
     from repro.driver.compiler import TilingCompiler
 
-    config = NPUConfig.paper_default()
-    compiler = TilingCompiler(config)
-    program = compiler.compile(synthetic_mlp(), world=World.SECURE)
-    expected = program.measurement()  # what the user signed off on
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        compiler = TilingCompiler(config)
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        expected = program.measurement()  # what the user signed off on
 
-    # The attacker inflates one layer (e.g., to exfiltrate more data).
-    tampered = compiler.compile(
-        synthetic_mlp(features=512), world=World.SECURE
-    )
-    tampered.task_name = program.task_name
-
-    memmap = MemoryMap.default()
-    guarder = NPUGuarder()
-    core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
-    monitor = NPUMonitor(memmap, guarder, [core])
-    monitor.boot()
-    try:
-        monitor.submit(tampered, expected)
-    except MeasurementError as exc:
-        return AttackResult(
-            "tampered_task_code", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+        # The attacker inflates one layer (e.g., to exfiltrate more data).
+        tampered = compiler.compile(
+            synthetic_mlp(features=512), world=World.SECURE
         )
-    return AttackResult(
-        "tampered_task_code", protection, succeeded=True,
-        detail="tampered program entered the secure queue",
-    )
+        tampered.task_name = program.task_name
+
+        memmap = MemoryMap.default()
+        guarder = NPUGuarder()
+        core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
+        monitor = NPUMonitor(memmap, guarder, [core])
+        monitor.boot()
+        try:
+            monitor.submit(tampered, expected)
+        except MeasurementError as exc:
+            return AttackResult(
+                "tampered_task_code", protection, succeeded=False,
+                blocked_by=type(exc).__name__, detail=str(exc),
+                audit_records=scope.audit.records,
+            )
+        return AttackResult(
+            "tampered_task_code", protection, succeeded=True,
+            detail="tampered program entered the secure queue",
+            audit_records=scope.audit.records,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -317,30 +342,33 @@ def attack_wrong_topology(protection: str = "snpu") -> AttackResult:
     """A 2x2 secure task is scheduled onto a 1x4 line of cores (§IV-B)."""
     from repro.driver.compiler import TilingCompiler
 
-    config = NPUConfig.paper_default()
-    compiler = TilingCompiler(config)
-    program = compiler.compile(synthetic_mlp(), world=World.SECURE)
-    program.topology = (2, 2)
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        compiler = TilingCompiler(config)
+        program = compiler.compile(synthetic_mlp(), world=World.SECURE)
+        program.topology = (2, 2)
 
-    memmap = MemoryMap.default()
-    guarder = NPUGuarder()
-    dram = DRAMModel(config.dram_bytes_per_cycle)
-    mesh = Mesh(2, 5)
-    cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(10)]
-    monitor = NPUMonitor(memmap, guarder, cores, mesh)
-    monitor.boot()
-    monitor.submit(program, program.measurement())
-    try:
-        monitor.schedule_next([0, 1, 2, 3])  # a 1x4 row, not 2x2
-    except RouteIntegrityError as exc:
+        memmap = MemoryMap.default()
+        guarder = NPUGuarder()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        mesh = Mesh(2, 5)
+        cores = [NPUCore(config, guarder, dram, core_id=i) for i in range(10)]
+        monitor = NPUMonitor(memmap, guarder, cores, mesh)
+        monitor.boot()
+        monitor.submit(program, program.measurement())
+        try:
+            monitor.schedule_next([0, 1, 2, 3])  # a 1x4 row, not 2x2
+        except RouteIntegrityError as exc:
+            return AttackResult(
+                "wrong_topology", protection, succeeded=False,
+                blocked_by=type(exc).__name__, detail=str(exc),
+                audit_records=scope.audit.records,
+            )
         return AttackResult(
-            "wrong_topology", protection, succeeded=False,
-            blocked_by=type(exc).__name__, detail=str(exc),
+            "wrong_topology", protection, succeeded=True,
+            detail="task loaded on an unexpected topology",
+            audit_records=scope.audit.records,
         )
-    return AttackResult(
-        "wrong_topology", protection, succeeded=True,
-        detail="task loaded on an unexpected topology",
-    )
 
 
 # ----------------------------------------------------------------------
@@ -355,38 +383,43 @@ def attack_cold_boot_dram_dump(protection: str = "none") -> AttackResult:
     """
     from repro.memory.encryption import MemoryEncryptionEngine
 
-    config = NPUConfig.paper_default()
-    dram = DRAMModel(config.dram_bytes_per_cycle)
-    spad = Scratchpad(256, config.spad_line_bytes)
-    encryption = (
-        MemoryEncryptionEngine(b"device-unique-key", dram)
-        if protection == "snpu"
-        else None
-    )
-    dma = DMAEngine(
-        config, NoProtection(), dram,
-        scratchpad=spad, functional=True, encryption=encryption,
-    )
-    payload = _pad_lines(SECRET, config.spad_line_bytes)
-    spad.write(0, payload, World.SECURE)
-    out = DmaRequest(
-        vaddr=0x8000_0000, size=payload.size, is_write=True,
-        world=World.SECURE,
-    )
-    dma.execute(SpadTransfer(request=out, spad_line=0, lines=payload.shape[0]))
-
-    # The physical dump reads raw DRAM, below every access-control check.
-    dump = dram.read(0x8000_0000, payload.size)
-    if SECRET in dump:
-        return AttackResult(
-            "cold_boot_dram_dump", protection, succeeded=True,
-            detail="plaintext model recovered from the DRAM dump",
+    with telemetry.scoped(trace=False) as scope:
+        config = NPUConfig.paper_default()
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        spad = Scratchpad(256, config.spad_line_bytes)
+        encryption = (
+            MemoryEncryptionEngine(b"device-unique-key", dram)
+            if protection == "snpu"
+            else None
         )
-    return AttackResult(
-        "cold_boot_dram_dump", protection, succeeded=False,
-        blocked_by="MemoryEncryptionEngine",
-        detail="dump contains only ciphertext",
-    )
+        dma = DMAEngine(
+            config, NoProtection(), dram,
+            scratchpad=spad, functional=True, encryption=encryption,
+        )
+        payload = _pad_lines(SECRET, config.spad_line_bytes)
+        spad.write(0, payload, World.SECURE)
+        out = DmaRequest(
+            vaddr=0x8000_0000, size=payload.size, is_write=True,
+            world=World.SECURE,
+        )
+        dma.execute(
+            SpadTransfer(request=out, spad_line=0, lines=payload.shape[0])
+        )
+
+        # The physical dump reads raw DRAM, below every access-control check.
+        dump = dram.read(0x8000_0000, payload.size)
+        if SECRET in dump:
+            return AttackResult(
+                "cold_boot_dram_dump", protection, succeeded=True,
+                detail="plaintext model recovered from the DRAM dump",
+                audit_records=scope.audit.records,
+            )
+        return AttackResult(
+            "cold_boot_dram_dump", protection, succeeded=False,
+            blocked_by="MemoryEncryptionEngine",
+            detail="dump contains only ciphertext",
+            audit_records=scope.audit.records,
+        )
 
 
 #: name -> attack callable; each takes protection in {"none", "snpu"}.
@@ -402,6 +435,62 @@ ALL_ATTACKS: Dict[str, Callable[[str], AttackResult]] = {
 }
 
 
+#: Expected audit-ledger evidence when sNPU blocks each attack:
+#: ``(denial kind, denied world, flow ID required)``.  ``None`` means the
+#: attack has no audit expectation — the cold-boot dump is a physical
+#: attack below every access-control check, so by design no checker sees
+#: it and nothing is ledgered.
+EXPECTED_AUDIT: Dict[str, Optional[Tuple[str, str, bool]]] = {
+    "dma_steal_secure_memory": ("guarder.deny", "NORMAL", True),
+    "leftoverlocals": ("spad.deny", "NORMAL", False),
+    "global_spad_cotenant": ("spad.deny", "NORMAL", False),
+    # Core 0 (the secure producer) issues the hijacked stream, so the
+    # denied packet carries the SECURE world tag.
+    "noc_route_hijack": ("noc.deny", "SECURE", True),
+    "driver_sets_secure_context": ("privilege.deny", "NORMAL", False),
+    "tampered_task_code": ("monitor.submit", "SECURE", False),
+    "wrong_topology": ("monitor.schedule", "SECURE", False),
+    "cold_boot_dram_dump": None,
+}
+
+
+def assert_expected_audit(result: AttackResult) -> None:
+    """Corroborate a blocked verdict against the attack's audit records.
+
+    Raises :class:`AssertionError` unless the ledger carries at least one
+    denial of the expected kind, stamped with the expected world, and —
+    where the denial judged a tracked request — a flow ID.
+    """
+    expected = EXPECTED_AUDIT.get(result.name)
+    if expected is None:
+        return
+    kind, world, needs_flow = expected
+    matches = [
+        r for r in result.audit_records
+        if r["kind"] == kind and r["decision"] == "deny"
+        and r["world"] == world
+    ]
+    assert matches, (
+        f"{result.name}: blocked by {result.blocked_by} but the audit "
+        f"ledger has no ({kind}, deny, {world}) record; "
+        f"ledger kinds: {sorted({r['kind'] for r in result.audit_records})}"
+    )
+    if needs_flow:
+        assert any(r["flow"] is not None for r in matches), (
+            f"{result.name}: denial records lack a flow ID"
+        )
+
+
 def run_all_attacks(protection: str) -> List[AttackResult]:
-    """Run every attack against one protection level."""
-    return [attack(protection) for attack in ALL_ATTACKS.values()]
+    """Run every attack against one protection level.
+
+    Under ``protection="snpu"`` every blocked verdict is corroborated
+    against the audit ledger via :func:`assert_expected_audit` — a
+    mechanism cannot claim a block without leaving the matching evidence.
+    """
+    results = [attack(protection) for attack in ALL_ATTACKS.values()]
+    if protection == "snpu":
+        for result in results:
+            if not result.succeeded:
+                assert_expected_audit(result)
+    return results

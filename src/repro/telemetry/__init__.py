@@ -27,6 +27,8 @@ import contextlib
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.telemetry.audit import AuditLedger
+from repro.telemetry.flow import FlowRecord, FlowTracker, StageSpan
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -58,6 +60,10 @@ __all__ = [
     "MetricsRegistry",
     "TraceRecorder",
     "CycleProfiler",
+    "AuditLedger",
+    "FlowRecord",
+    "FlowTracker",
+    "StageSpan",
     "LayerAttribution",
     "RunProfile",
     "CATEGORIES",
@@ -72,6 +78,8 @@ __all__ = [
     "metrics",
     "tracer",
     "profiler",
+    "flows",
+    "audit",
     "enable",
     "disable",
     "reset",
@@ -87,20 +95,37 @@ tracer = TraceRecorder(enabled=False)
 #: Process-global cycle-attribution profiler (disabled until :func:`enable`).
 profiler = CycleProfiler(enabled=False)
 
+#: Process-global request-flow tracker (disabled until :func:`enable`).
+flows = FlowTracker(enabled=False)
 
-def enable(trace: bool = True, profile: bool = True) -> None:
-    """Turn telemetry on (optionally leaving the tracer/profiler off)."""
+#: Process-global security audit ledger (disabled until :func:`enable`).
+audit = AuditLedger(enabled=False)
+
+
+def enable(
+    trace: bool = True,
+    profile: bool = True,
+    flow: bool = True,
+    audit_log: bool = True,
+) -> None:
+    """Turn telemetry on (optionally leaving some collectors off)."""
     metrics.enable()
     if trace:
         tracer.enable()
     if profile:
         profiler.enable()
+    if flow:
+        flows.enable()
+    if audit_log:
+        audit.enable()
 
 
 def disable() -> None:
     metrics.disable()
     tracer.disable()
     profiler.disable()
+    flows.disable()
+    audit.disable()
 
 
 def reset() -> None:
@@ -108,6 +133,8 @@ def reset() -> None:
     metrics.reset()
     tracer.reset()
     profiler.reset()
+    flows.reset()
+    audit.reset()
 
 
 @dataclass
@@ -117,25 +144,43 @@ class TelemetryScope:
     metrics: MetricsRegistry
     tracer: TraceRecorder
     profiler: CycleProfiler
+    flows: FlowTracker
+    audit: AuditLedger
 
 
 @contextlib.contextmanager
-def scoped(trace: bool = True, profile: bool = True) -> Iterator[TelemetryScope]:
+def scoped(
+    trace: bool = True,
+    profile: bool = True,
+    flow: bool = False,
+    audit_log: bool = True,
+) -> Iterator[TelemetryScope]:
     """Run a block against a fresh, enabled telemetry state.
 
     The previous state (groups, events, enabled flags) is saved and
     restored on exit, so scopes nest and never leak registrations — each
-    experiment's ``metrics.json`` contains only its own system.
+    experiment's ``metrics.json`` contains only its own system.  Flow
+    tracking (per-request span records) is opt-in; the audit ledger is on
+    by default (it records only decisions, never per-packet traffic).
     """
     saved_metrics = metrics._export_state()
     saved_tracer = tracer._export_state()
     saved_profiler = profiler._export_state()
+    saved_flows = flows._export_state()
+    saved_audit = audit._export_state()
     metrics._restore_state((True, {}, {}, {}))
     tracer._restore_state((bool(trace), [], {}, 0.0, 0, {}))
     profiler._restore_state((bool(profile), {}, {}, [], None))
+    flows._restore_state((bool(flow), {}, {}, 0, 0))
+    audit._restore_state((bool(audit_log), False, [], 0, "", 0, 0.0))
     try:
-        yield TelemetryScope(metrics=metrics, tracer=tracer, profiler=profiler)
+        yield TelemetryScope(
+            metrics=metrics, tracer=tracer, profiler=profiler,
+            flows=flows, audit=audit,
+        )
     finally:
         metrics._restore_state(saved_metrics)
         tracer._restore_state(saved_tracer)
         profiler._restore_state(saved_profiler)
+        flows._restore_state(saved_flows)
+        audit._restore_state(saved_audit)

@@ -27,6 +27,8 @@ already dropped (e.g. a SoC local to a script's ``main()``).
 from __future__ import annotations
 
 import json
+import random
+import zlib
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 Number = Union[int, float]
@@ -68,14 +70,25 @@ class Gauge:
 
 
 class Histogram:
-    """Aggregating histogram with optional cycle-stamped raw samples.
+    """Aggregating histogram with cycle-stamped reservoir samples.
 
-    Aggregates (count / sum / min / max) are always exact; raw samples are
-    kept up to *max_samples* for percentile estimation and timeline
-    inspection, then stop accumulating (the aggregates keep counting).
+    Aggregates (count / sum / min / max) are always exact.  Raw samples
+    feed percentile estimation and are retained as a **uniform random
+    reservoir** of up to *max_samples* ``(cycle, value)`` pairs
+    (Vitter's Algorithm R): once the reservoir is full, the *n*-th
+    observation replaces a random resident with probability
+    ``max_samples / n``, so every observation — first or last — has the
+    same chance of being retained.  A simple keep-first-N policy would
+    bias :meth:`percentile` toward the warm-up phase of a run and hide
+    the tail entirely once more than *max_samples* values arrive.
+
+    The reservoir's RNG is seeded from the histogram *name*, so a given
+    metric retains the same samples on every identical run — percentile
+    estimates stay deterministic and reproducible across runs and hosts.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "samples", "max_samples")
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "max_samples", "_rng")
 
     def __init__(self, name: str, max_samples: int = 1024):
         self.name = name
@@ -86,6 +99,7 @@ class Histogram:
         self.max: Optional[float] = None
         #: Retained raw samples as ``(cycle, value)`` pairs.
         self.samples: List[Tuple[float, float]] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Number, cycle: float = 0.0) -> None:
         value = float(value)
@@ -97,13 +111,22 @@ class Histogram:
             self.max = value
         if len(self.samples) < self.max_samples:
             self.samples.append((float(cycle), value))
+        elif self.max_samples > 0:
+            # Algorithm R: replace a random resident with p = k/n.
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self.samples[slot] = (float(cycle), value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Estimate the *p*-th percentile from the retained samples."""
+        """Estimate the *p*-th percentile from the retained reservoir.
+
+        Exact while ``count <= max_samples``; an unbiased estimate (linear
+        interpolation over the uniform reservoir) beyond that.
+        """
         if not self.samples:
             return 0.0
         values = sorted(v for _c, v in self.samples)
@@ -132,6 +155,8 @@ class Histogram:
         self.min = None
         self.max = None
         self.samples.clear()
+        # Reseed so a reset histogram replays identically.
+        self._rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
 
 
 # ----------------------------------------------------------------------

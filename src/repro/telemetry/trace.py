@@ -189,6 +189,41 @@ class TraceRecorder:
             return list(self._open.get(track, ()))
         return [event for stack in self._open.values() for event in stack]
 
+    def flow_point(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        flow_id: int,
+        ts: Optional[float] = None,
+        track: str = "sim",
+        **args: Any,
+    ) -> None:
+        """Record one Chrome-trace *flow event* (phase ``s``/``t``/``f``).
+
+        Flow events with the same ``id`` draw an arrow chain between the
+        slices enclosing them, across tracks — Perfetto renders the
+        causal path of one request.  The terminating ``f`` event binds to
+        the enclosing slice (``bp: "e"``) per the trace-event spec.
+        """
+        if not self.enabled:
+            return
+        if ph not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, got {ph!r}")
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": ph,
+            "id": int(flow_id),
+            "ts": self._stamp(ts),
+            "pid": 0,
+            "tid": self._tid(track),
+            "args": args,
+        }
+        if ph == "f":
+            event["bp"] = "e"
+        self._push(event)
+
     def counter_sample(
         self,
         name: str,
@@ -297,7 +332,12 @@ class TraceRecorder:
         payload = {
             "traceEvents": events,
             "displayTimeUnit": "ns",
-            "otherData": {"timebase": "NPU cycles (per-track)"},
+            "otherData": {
+                "timebase": "NPU cycles (per-track)",
+                # Surfaced so a truncated trace is never mistaken for a
+                # complete one (the CLI also warns on stderr).
+                "dropped_events": self.dropped,
+            },
         }
         return json.dumps(payload, indent=indent, default=str)
 

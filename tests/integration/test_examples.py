@@ -43,3 +43,36 @@ def test_example_runs_headlessly(script, tmp_path):
         f"stderr:\n{proc.stderr[-2000:]}"
     )
     assert proc.stdout.strip(), f"{script} printed nothing"
+
+
+def _run_cli(args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_audit_cli_smoke(tmp_path):
+    """``repro audit`` replays the attack matrix and emits the ledger."""
+    proc = _run_cli(["audit", "snpu", "--format", "summary"], tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "audit ledger:" in proc.stdout
+    assert "guarder.deny" in proc.stdout
+
+    out = tmp_path / "audit.jsonl"
+    proc = _run_cli(
+        ["audit", "snpu", "--format", "jsonl", "-o", str(out)], tmp_path
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    lines = out.read_text().splitlines()
+    assert lines
+    import json
+
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert {"guarder.deny", "noc.deny", "spad.deny"} <= kinds

@@ -1,0 +1,108 @@
+"""Property tests for the flow-decomposition invariant.
+
+Acceptance criterion of the flow tracker: for **every completed flow**,
+the sum of the per-stage queueing + service + security components equals
+the end-to-end latency exactly (Fraction-exact, not approximately) —
+over the model zoo × access-control configurations.  And the mechanism
+signature the decomposition exposes matches Fig. 13: under a 4-entry
+IOTLB the IOMMU's walk time dominates the slowest decile's security
+share, while the Guarder charges zero security cycles to every flow.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.flows import FlowReport, verify_decomposition
+from repro.driver.compiler import TilingCompiler
+from repro.experiments.fig13 import _guarder_for_run, _identity_table
+from repro.memory.dram import DRAMModel
+from repro.mmu.base import NoProtection
+from repro.mmu.iommu import IOMMU
+from repro.npu.config import NPUConfig
+from repro.npu.core import NPUCore
+from repro.workloads import zoo
+
+ZERO = Fraction(0)
+
+WORKLOADS = sorted(zoo.MODEL_BUILDERS)
+CONTROLLERS = ("guarder", "none", "iommu-4", "iommu-16")
+
+
+def _build(model_name):
+    if model_name in ("bert", "gpt"):
+        return zoo.MODEL_BUILDERS[model_name](64, 2)
+    return zoo.MODEL_BUILDERS[model_name](56)
+
+
+def _controller(name, program):
+    if name == "guarder":
+        return _guarder_for_run()
+    if name == "none":
+        return NoProtection()
+    return IOMMU(_identity_table(program), iotlb_entries=int(name.split("-")[1]))
+
+
+def _flow_run(model_name, controller_name):
+    config = NPUConfig.paper_default()
+    program = TilingCompiler(config).compile(_build(model_name))
+    with telemetry.scoped(trace=False, profile=False, flow=True) as scope:
+        dram = DRAMModel(config.dram_bytes_per_cycle)
+        core = NPUCore(config, _controller(controller_name, program), dram)
+        result = core.run_detailed(program)
+        records = scope.flows.records
+    return result, records
+
+
+@pytest.mark.parametrize("controller", CONTROLLERS)
+@pytest.mark.parametrize("model_name", WORKLOADS)
+def test_every_flow_decomposes_exactly(model_name, controller):
+    result, records = _flow_run(model_name, controller)
+    assert records, "a detailed run must produce DMA flows"
+    verify_decomposition(records)  # raises on any inexact flow
+    # The report's totals inherit the exactness.
+    report = FlowReport(records)
+    assert report.queueing + report.service + report.security == report.total
+
+
+@pytest.mark.parametrize("model_name", ("mobilenet", "alexnet"))
+def test_iommu_walks_dominate_the_slow_decile(model_name):
+    _, guarder_records = _flow_run(model_name, "guarder")
+    _, iommu_records = _flow_run(model_name, "iommu-4")
+
+    # Guarder: zero security-check time on every flow (the checking
+    # registers ride the request issue; no walk ever happens).
+    guarder = FlowReport(guarder_records)
+    assert guarder.security == ZERO
+    assert all(r.security_cycles == ZERO for r in guarder_records)
+
+    # IOMMU-4: thrashing IOTLB; the walk time is the dominant security
+    # component of the slowest decile.
+    iommu = FlowReport(iommu_records)
+    assert iommu.security > ZERO
+    decile_stages = iommu.decile_stage_totals()
+    assert decile_stages.get("security", ZERO) > ZERO
+    assert iommu.decile_security_share() > 0.0
+    # The same flows under the Guarder cost nothing in security: per
+    # request, the mechanism difference is the security component.
+    assert guarder.decile_security_share() == 0.0
+
+
+def test_flow_meta_annotations_track_walks():
+    _, records = _flow_run("alexnet", "iommu-4")
+    walked = [r for r in records if "iotlb_walks" in r.meta]
+    assert walked, "a 4-entry IOTLB must miss and walk"
+    for record in walked:
+        assert record.meta["walk_cycles"] > 0.0
+        # The walk cycles the IOMMU annotated are the flow's security
+        # component (clamped by the exact partition).
+        assert float(record.security_cycles) <= record.meta["walk_cycles"]
+
+
+def test_flow_ids_are_unique_and_ordered():
+    _, records = _flow_run("yololite", "none")
+    assert records
+    ids = [r.flow_id for r in records]
+    assert ids == sorted(ids) and len(set(ids)) == len(ids)
+    assert all(r.kind == "dma" and r.context for r in records)

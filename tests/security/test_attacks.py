@@ -6,6 +6,8 @@ import pytest
 
 from repro.security.attacks import (
     ALL_ATTACKS,
+    EXPECTED_AUDIT,
+    assert_expected_audit,
     attack_dma_steal_secure_memory,
     attack_driver_sets_secure_context,
     attack_global_spad_cotenant,
@@ -79,3 +81,49 @@ class TestAttackDetails:
         # itself - the checking registers are the actual barrier.
         result = attack_dma_steal_secure_memory("snpu")
         assert result.blocked_by == "AccessViolation"
+
+
+class TestAuditCorroboration:
+    """A blocked verdict must leave the matching evidence in the ledger."""
+
+    def test_every_attack_has_an_expectation_entry(self):
+        assert set(EXPECTED_AUDIT) == set(ALL_ATTACKS)
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n in ALL_ATTACKS if EXPECTED_AUDIT[n])
+    )
+    def test_blocked_attack_leaves_expected_denial(self, name):
+        result = ALL_ATTACKS[name]("snpu")
+        assert not result.succeeded
+        assert_expected_audit(result)  # kind + world (+ flow ID) match
+        kind, world, needs_flow = EXPECTED_AUDIT[name]
+        denials = [
+            r for r in result.audit_records
+            if r["kind"] == kind and r["decision"] == "deny"
+        ]
+        assert denials and all(r["world"] == world for r in denials)
+        if needs_flow:
+            assert any(r["flow"] is not None for r in denials)
+
+    def test_cold_boot_has_no_audit_expectation(self):
+        # The physical dump happens below every access-control check, so
+        # by design nothing can ledger it.
+        assert EXPECTED_AUDIT["cold_boot_dram_dump"] is None
+        result = ALL_ATTACKS["cold_boot_dram_dump"]("snpu")
+        assert not any(
+            r["decision"] == "deny" for r in result.audit_records
+        )
+
+    def test_corroboration_rejects_missing_evidence(self):
+        result = attack_dma_steal_secure_memory("snpu")
+        result.audit_records = [
+            r for r in result.audit_records if r["kind"] != "guarder.deny"
+        ]
+        with pytest.raises(AssertionError, match="no .*guarder.deny"):
+            assert_expected_audit(result)
+
+    def test_run_all_attacks_corroborates_snpu(self):
+        # run_all_attacks("snpu") internally asserts every blocked
+        # verdict against the ledger; reaching here means all matched.
+        results = run_all_attacks("snpu")
+        assert all(r.audit_records is not None for r in results)

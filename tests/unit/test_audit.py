@@ -1,0 +1,100 @@
+"""Unit tests for the append-only security audit ledger."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.audit import AuditLedger
+
+
+class TestRecording:
+    def test_disabled_records_nothing(self):
+        ledger = AuditLedger()
+        ledger.record("guarder.deny", "deny", world="NORMAL")
+        assert len(ledger) == 0
+
+    def test_record_fields(self):
+        ledger = AuditLedger(enabled=True)
+        ledger.record(
+            "guarder.deny", "deny", cycle=42.0, world="NORMAL", flow=7,
+            reason="uncovered", addr=0x1000,
+        )
+        (record,) = ledger.records
+        assert record["kind"] == "guarder.deny"
+        assert record["decision"] == "deny"
+        assert record["cycle"] == 42.0
+        assert record["world"] == "NORMAL"
+        assert record["flow"] == 7
+        assert record["detail"] == {"addr": 0x1000, "reason": "uncovered"}
+
+    def test_clock_is_the_default_timebase(self):
+        ledger = AuditLedger(enabled=True)
+        ledger.clock = 123.0
+        ledger.record("iommu.deny", "deny", world="NORMAL")
+        assert ledger.records[0]["cycle"] == 123.0
+
+    def test_cap_counts_dropped(self):
+        ledger = AuditLedger(enabled=True, max_records=2)
+        for _ in range(5):
+            ledger.record("spad.deny", "deny")
+        assert len(ledger) == 2 and ledger.dropped == 3
+
+    def test_find_and_kinds(self):
+        ledger = AuditLedger(enabled=True)
+        ledger.record("guarder.deny", "deny", world="NORMAL")
+        ledger.record("guarder.program", "allow", world="SECURE")
+        ledger.record("guarder.deny", "deny", world="SECURE")
+        assert len(ledger.find(kind="guarder.deny")) == 2
+        assert len(ledger.find(decision="deny", world="NORMAL")) == 1
+        assert ledger.kinds() == {"guarder.deny": 2, "guarder.program": 1}
+
+
+class TestDeterminism:
+    def _records(self, origin):
+        sub = AuditLedger(enabled=True)
+        sub.set_origin(origin)
+        sub.record("noc.deny", "deny", cycle=1.0, world="SECURE", flow=0)
+        sub.record("noc.grant", "allow", cycle=2.0, world="NORMAL", flow=1)
+        return sub.records
+
+    def test_ingest_order_does_not_change_bytes(self):
+        a, b = self._records("run/a"), self._records("run/b")
+        forward, backward = AuditLedger(enabled=True), AuditLedger(enabled=True)
+        forward.ingest(a)
+        forward.ingest(b)
+        backward.ingest(b)
+        backward.ingest(a)
+        assert forward.to_jsonl() == backward.to_jsonl()
+
+    def test_ingest_origin_override(self):
+        ledger = AuditLedger(enabled=True)
+        ledger.ingest(self._records("worker-3"), origin="snpu/noc_route_hijack")
+        assert all(
+            r["origin"] == "snpu/noc_route_hijack" for r in ledger.records
+        )
+
+    def test_jsonl_round_trips(self):
+        ledger = AuditLedger(enabled=True)
+        ledger.ingest(self._records("x"))
+        lines = ledger.to_jsonl().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == [
+            "noc.deny", "noc.grant",
+        ]
+
+    def test_empty_ledger_renders_empty(self):
+        assert AuditLedger(enabled=True).to_jsonl() == ""
+
+
+class TestScoped:
+    def test_scoped_enables_and_restores(self):
+        assert not telemetry.audit.enabled
+        with telemetry.scoped(trace=False) as scope:
+            assert scope.audit.enabled
+            scope.audit.record("spad.deny", "deny", world="NORMAL")
+            assert len(scope.audit) == 1
+        assert not telemetry.audit.enabled
+        assert len(telemetry.audit) == 0
+
+    def test_audit_log_opt_out(self):
+        with telemetry.scoped(trace=False, audit_log=False) as scope:
+            scope.audit.record("spad.deny", "deny")
+            assert len(scope.audit) == 0

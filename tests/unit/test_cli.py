@@ -204,3 +204,96 @@ class TestProfileCommand:
         assert main(["profile", "mobilenet", "--analytic",
                      "--input-size", "56", "--host"]) == 0
         assert "function calls" in capsys.readouterr().out
+
+
+class TestStatsFormats:
+    def test_stats_table(self, capsys):
+        assert main(["stats", "yololite", "--input-size", "56"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "npu." in out
+
+    def test_stats_json_has_percentiles(self, capsys):
+        import json as _json
+
+        assert main(["stats", "yololite", "--input-size", "56",
+                     "--format", "json", "--detailed"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert any(k.endswith(".p50") for k in payload)
+        assert any(k.endswith(".p99") for k in payload)
+
+    def test_stats_json_flag_alias(self, capsys):
+        import json as _json
+
+        assert main(["stats", "yololite", "--input-size", "56",
+                     "--json"]) == 0
+        _json.loads(capsys.readouterr().out)  # must be valid JSON
+
+
+class TestFlowsCommand:
+    def test_flows_table(self, capsys):
+        assert main(["flows", "yololite", "--input-size", "56",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage decomposition" in out
+        assert "Top 3 slowest flows" in out
+
+    def test_flows_json_decomposes_exactly(self, capsys):
+        import json as _json
+
+        assert main(["flows", "yololite", "--input-size", "56",
+                     "--controller", "iommu-4", "--format", "json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["flows"] > 0
+        assert payload["total_cycles"] == pytest.approx(
+            payload["queueing_cycles"] + payload["service_cycles"]
+            + payload["security_cycles"]
+        )
+        assert payload["security_cycles"] > 0  # the IOMMU walks cost time
+
+    def test_flows_stage_filter(self, capsys):
+        assert main(["flows", "yololite", "--input-size", "56",
+                     "--controller", "iommu-4", "--stage", "security"]) == 0
+        assert "stage filter: security" in capsys.readouterr().out
+
+    def test_flows_trace_output(self, tmp_path, capsys):
+        import json as _json
+
+        trace_path = tmp_path / "flows.json"
+        assert main(["flows", "yololite", "--input-size", "56",
+                     "--trace", str(trace_path), "-o",
+                     str(tmp_path / "report.txt")]) == 0
+        payload = _json.loads(trace_path.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"s", "f"} <= phases  # Perfetto flow arrows present
+
+    def test_flows_unknown_model(self, capsys):
+        assert main(["flows", "nonesuch"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_audit_summary(self, capsys):
+        assert main(["audit", "snpu"]) == 0
+        out = capsys.readouterr().out
+        assert "audit ledger:" in out
+        assert "guarder.deny" in out and "noc.deny" in out
+
+    def test_audit_jsonl_is_worker_count_invariant(self, tmp_path, capsys):
+        one = tmp_path / "jobs1.jsonl"
+        four = tmp_path / "jobs4.jsonl"
+        assert main(["audit", "snpu", "--jobs", "1", "--format", "jsonl",
+                     "-o", str(one)]) == 0
+        assert main(["audit", "snpu", "--jobs", "4", "--format", "jsonl",
+                     "-o", str(four)]) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+        import json as _json
+
+        records = [_json.loads(line)
+                   for line in one.read_text().splitlines()]
+        assert all(r["origin"].startswith("snpu/") for r in records)
+
+    def test_audit_unknown_protection(self, capsys):
+        assert main(["audit", "warp9"]) == 2
+        assert "unknown protection" in capsys.readouterr().err

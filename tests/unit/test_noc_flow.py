@@ -1,0 +1,103 @@
+"""Flow propagation through the NoC: flit sideband, spans, audit denials."""
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.flows import verify_decomposition
+from repro.common.types import World
+from repro.errors import NoCAuthError
+from repro.noc.flit import FlitKind, Packet
+from repro.noc.mesh import Mesh
+from repro.noc.network import WormholeNetwork
+from repro.noc.router import NoCFabric, NoCPolicy
+
+
+class TestFlitSideband:
+    def test_every_flit_carries_the_flow_id(self):
+        packet = Packet(src=0, dst=3, nbytes=200, world=World.NORMAL,
+                        flow_id=42)
+        flits = packet.flits(16)
+        assert len(flits) > 2  # head + bodies + tail
+        assert all(f.flow_id == 42 for f in flits)
+        assert flits[0].kind is FlitKind.HEAD
+        assert flits[-1].kind is FlitKind.TAIL
+
+    def test_flow_id_defaults_to_none(self):
+        packet = Packet(src=0, dst=1, nbytes=16, world=World.NORMAL)
+        assert all(f.flow_id is None for f in packet.flits(16))
+
+
+class TestFabricFlows:
+    def test_multi_hop_transfer_records_one_flow(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            fabric = NoCFabric(Mesh(2, 2), NoCPolicy.PEEPHOLE)
+            latency = fabric.transfer(0, 3, nbytes=256)
+            records = scope.flows.records
+        (record,) = records
+        assert record.kind == "noc"
+        assert record.stream == "0->3"
+        assert float(record.total) == latency
+        verify_decomposition(records)
+
+    def test_peephole_stage_costs_zero_security_cycles(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            fabric = NoCFabric(Mesh(2, 2), NoCPolicy.PEEPHOLE)
+            fabric.transfer(0, 3, nbytes=256)
+            (record,) = scope.flows.records
+        assert float(record.security_cycles) == 0.0
+
+    def test_grant_carries_the_flow_id(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            fabric = NoCFabric(Mesh(2, 2), NoCPolicy.PEEPHOLE)
+            fabric.transfer(0, 3, nbytes=64)
+            grants = scope.audit.find(kind="noc.grant", decision="allow")
+            (record,) = scope.flows.records
+        assert len(grants) == 1
+        assert grants[0]["flow"] == record.flow_id
+
+    def test_rejected_packet_lands_in_the_audit_ledger(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            fabric = NoCFabric(Mesh(2, 2), NoCPolicy.PEEPHOLE)
+            fabric.routers[3].set_world(World.SECURE, issuer=World.SECURE)
+            with pytest.raises(NoCAuthError):
+                fabric.transfer(0, 3, nbytes=64)
+            denials = scope.audit.find(kind="noc.deny", decision="deny")
+            records = scope.flows.records
+        assert len(denials) == 1
+        assert denials[0]["world"] == "NORMAL"
+        assert denials[0]["detail"]["reason"] == "world_mismatch"
+        assert denials[0]["flow"] is not None
+        # The denied flow never completes: no record, but the ID was spent.
+        assert records == []
+
+    def test_channel_lock_rejection_is_audited(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            fabric = NoCFabric(Mesh(2, 2), NoCPolicy.PEEPHOLE)
+            fabric.transfer(1, 3, nbytes=64)  # locks 3's channel to 1
+            with pytest.raises(NoCAuthError):
+                fabric.transfer(0, 3, nbytes=64)
+            denials = scope.audit.find(kind="noc.deny")
+        assert denials[0]["detail"]["reason"] == "channel_locked"
+
+
+class TestWormholeNetworkFlows:
+    def test_contended_flow_decomposes_queueing_exactly(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            net = WormholeNetwork(Mesh(2, 5), peephole=False)
+            net.transfer(0, 2, 1024)
+            contended = net.transfer(0, 2, 1024)
+            records = scope.flows.records
+        assert len(records) == 2
+        verify_decomposition(records)
+        second = records[1]
+        assert float(second.queueing_cycles) == contended.queueing > 0.0
+
+    def test_network_rejection_is_audited_with_flow(self):
+        with telemetry.scoped(trace=False, flow=True) as scope:
+            net = WormholeNetwork(Mesh(2, 2), peephole=True)
+            net.set_world(3, World.SECURE, issuer=World.SECURE)
+            with pytest.raises(NoCAuthError):
+                net.transfer(0, 3, 64)
+            denials = scope.audit.find(kind="noc.deny", decision="deny")
+        assert len(denials) == 1
+        assert denials[0]["flow"] is not None

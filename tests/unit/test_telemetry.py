@@ -79,6 +79,40 @@ class TestHistogram:
         s = h.summary()
         assert set(s) == {"count", "sum", "mean", "min", "max", "p50", "p99"}
 
+    def test_reservoir_keeps_the_tail_beyond_capacity(self):
+        # A keep-first-N policy would retain only the first 1024 samples
+        # (all 0.0 here) and report p99 == 0; the uniform reservoir must
+        # keep seeing the late-arriving tail.
+        h = Histogram("x")
+        for _ in range(5000):
+            h.observe(0.0)
+        for _ in range(5000):
+            h.observe(100.0)
+        assert h.count == 10_000
+        assert len(h.samples) == h.max_samples == 1024
+        assert h.percentile(99) == 100.0
+        assert 30.0 < h.percentile(50) <= 100.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = Histogram(name)
+            for v in range(5000):
+                h.observe(float(v))
+            return h.samples
+
+        assert fill("latency") == fill("latency")
+        assert fill("latency") != fill("other")
+
+    def test_reset_reseeds_the_reservoir(self):
+        h = Histogram("x")
+        for v in range(5000):
+            h.observe(float(v))
+        first = list(h.samples)
+        h.reset()
+        for v in range(5000):
+            h.observe(float(v))
+        assert h.samples == first
+
 
 class TestNullObjects:
     def test_null_metrics_are_inert(self):
