@@ -11,6 +11,7 @@
     python -m repro trace examples/quickstart.py   # record a Chrome trace
     python -m repro flows mobilenet --controller iommu-4 --top 10
     python -m repro audit --jobs 4 -o audit.jsonl  # security audit ledger
+    python -m repro serve default --mechanism snpu --rps 240 --duration 400
     python -m repro profile resnet --protection snpu --diff baseline
     python -m repro profile resnet --host  # cProfile the simulator itself
     python -m repro bench diff BENCH_profile.json new.json
@@ -31,7 +32,8 @@ from repro.workloads import zoo
 
 EXPERIMENT_IDS = (
     "fig01", "fig13", "fig13-energy", "fig14", "fig15", "fig16", "fig17",
-    "fig18", "table1", "tcb", "sensitivity", "access-paths", "all",
+    "fig18", "table1", "tcb", "sensitivity", "serve-sweep", "access-paths",
+    "all",
 )
 
 
@@ -425,6 +427,43 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a multi-tenant traffic scenario and print the SLA report."""
+    from repro.serving.queueing import ServeSimulator
+    from repro.serving.report import ServeReport
+    from repro.serving.workload import SCENARIOS
+
+    scenario = SCENARIOS[args.scenario]
+    with telemetry.scoped(
+        trace=bool(args.trace), profile=False, flow=True
+    ) as scope:
+        simulator = ServeSimulator(
+            scenario,
+            mechanism=args.mechanism,
+            policy=args.policy,
+            rps=args.rps,
+            duration_ms=args.duration,
+            seed=args.seed,
+        )
+        outcome = simulator.run()
+        report = ServeReport.build(outcome)
+        n_flows = len(scope.flows)
+        n_audit = len(scope.audit)
+        trace_payload = (
+            scope.tracer.to_chrome_trace(indent=2) if args.trace else None
+        )
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(trace_payload)
+        print(f"flow trace written to {args.trace} "
+              f"(open with https://ui.perfetto.dev)", file=sys.stderr)
+    _emit(report.render(args.format), args.out)
+    if args.format == "table":
+        print(f"({n_flows} request flows tracked, "
+              f"{n_audit} audit records)")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Cycle-attribution report, protection-mode diff, or host profile."""
     from repro.analysis.profile import (
@@ -689,6 +728,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("-o", "--out", default=None, metavar="PATH",
                          help="write the ledger here instead of stdout")
     p_audit.set_defaults(func=_cmd_audit)
+
+    from repro.serving.policies import POLICIES
+    from repro.serving.queueing import MECHANISMS
+    from repro.serving.workload import SCENARIOS
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a multi-tenant traffic scenario (per-tenant SLA report)",
+    )
+    p_serve.add_argument(
+        "scenario", nargs="?", default="default", choices=sorted(SCENARIOS),
+        help="tenant population to serve (default: default)",
+    )
+    p_serve.add_argument(
+        "--mechanism", choices=MECHANISMS, default="snpu",
+        help="isolation mechanism under test (default snpu)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=POLICIES, default="rr",
+        help="dispatch policy (default rr)",
+    )
+    p_serve.add_argument(
+        "--rps", type=float, default=None, metavar="R",
+        help="aggregate request rate (default: the scenario's)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None, metavar="MS",
+        help="admission-window length in ms (default: the scenario's)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="workload seed (same seed => identical JSON)")
+    p_serve.add_argument("--format", choices=("table", "json"),
+                         default="table")
+    p_serve.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="write the report here instead of stdout")
+    p_serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also write a Chrome-trace with per-request flow arrows",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_prof = sub.add_parser(
         "profile",

@@ -243,40 +243,24 @@ class MultiTaskScheduler:
         t = 0.0
         t_a = t_b = 0.0
         ia = ib = 0
-        current = "a"
+        turn = "a"  # whose quantum the round-robin would grant next
+        prev: Optional[str] = None  # task that actually ran last
         switches = 0
         self._m_coruns.inc()
         tracer = telemetry.tracer
         while ia < len(quanta_a) or ib < len(quanta_b):
-            q_start = t
-            q_task = None
-            if current == "a" and ia < len(quanta_a):
-                t += quanta_a[ia]
-                ia += 1
-                t_a = t
-                q_task = model_a.name
-            elif ib < len(quanta_b):
-                t += quanta_b[ib]
-                ib += 1
-                t_b = t
-                q_task = model_b.name
-            if q_task is not None:
-                self._h_quantum.observe(t - q_start, cycle=q_start)
-                telemetry.profiler.attribute("scheduler.quantum", t - q_start)
-                telemetry.profiler.count("scheduler.quanta")
-                if tracer.enabled:
-                    tracer.span(
-                        f"quantum {q_task}", "scheduler", ts=q_start,
-                        dur=t - q_start, track="scheduler",
-                        granularity=granularity,
-                    )
-            other_pending = (
-                ib < len(quanta_b) if current == "a" else ia < len(quanta_a)
-            )
-            self_pending = (
-                ia < len(quanta_a) if current == "a" else ib < len(quanta_b)
-            )
-            if other_pending:
+            a_pending = ia < len(quanta_a)
+            b_pending = ib < len(quanta_b)
+            # Grant the turn-holder its quantum; once one task has drained
+            # its quanta the survivor keeps the NPU (no alternation left).
+            if turn == "a":
+                ran = "a" if a_pending else "b"
+            else:
+                ran = "b" if b_pending else "a"
+            # A scrub + context switch is paid only when the NPU actually
+            # changes hands — never for a survivor running back-to-back
+            # quanta during the drain phase.
+            if prev is not None and ran != prev:
                 if tracer.enabled:
                     tracer.span(
                         "flush switch", "flush", ts=t, dur=switch_cost,
@@ -287,9 +271,28 @@ class MultiTaskScheduler:
                 self._m_switches.inc()
                 telemetry.profiler.attribute("scheduler.switch", switch_cost)
                 telemetry.profiler.count("scheduler.switches")
-                current = "b" if current == "a" else "a"
-            elif not self_pending:
-                break
+            q_start = t
+            if ran == "a":
+                t += quanta_a[ia]
+                ia += 1
+                t_a = t
+                q_task = model_a.name
+            else:
+                t += quanta_b[ib]
+                ib += 1
+                t_b = t
+                q_task = model_b.name
+            self._h_quantum.observe(t - q_start, cycle=q_start)
+            telemetry.profiler.attribute("scheduler.quantum", t - q_start)
+            telemetry.profiler.count("scheduler.quanta")
+            if tracer.enabled:
+                tracer.span(
+                    f"quantum {q_task}", "scheduler", ts=q_start,
+                    dur=t - q_start, track="scheduler",
+                    granularity=granularity,
+                )
+            prev = ran
+            turn = "b" if ran == "a" else "a"
         return TemporalShareResult(
             granularity=granularity,
             task_a=model_a.name,
@@ -301,9 +304,25 @@ class MultiTaskScheduler:
             switches=switches,
         )
 
-    def _quanta(self, model: ModelGraph, granularity: str) -> List[float]:
+    def quanta(
+        self, model: ModelGraph, granularity: str, flushed: bool = False
+    ) -> List[float]:
+        """Scheduling quanta (cycles) of *model* at a flush granularity.
+
+        Public accessor used by the serving simulator's N-way round-robin
+        (the two-task :meth:`temporal_corun` is the special case N=2).
+        With ``flushed=True`` the quanta come from the flush-baseline run
+        (``flush=granularity``): a server that may be preempted at any
+        boundary cannot keep scratchpad state resident across one, so its
+        service time carries the Fig. 14 write-back inflation.
+        """
+        return list(self._quanta(model, granularity, flushed=flushed))
+
+    def _quanta(
+        self, model: ModelGraph, granularity: str, flushed: bool = False
+    ) -> List[float]:
         """Scheduling quanta (cycles) of one task at a flush granularity."""
-        result = self.run(model)
+        result = self.run(model, flush=granularity if flushed else None)
         program = self.compile_cached(model, self.config.spad_bytes)
         per_layer = [lr.cycles for lr in result.layers]
         if granularity == "tile":

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Any, Dict, List, Optional
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -107,15 +108,27 @@ class ResultCache:
             return None
 
     def put(self, key: str, payload: Dict[str, Any]) -> str:
-        """Atomically store *payload* under *key*; returns the path."""
+        """Atomically store *payload* under *key*; returns the path.
+
+        The payload must be JSON-native: any value the ``json`` module
+        cannot represent exactly (``Fraction`` attribution totals, sets,
+        dataclasses, ...) raises :class:`TypeError` instead of being
+        silently stringified — a cache *hit* must return the same-typed
+        data a fresh run would have produced.  Encode exact types
+        explicitly (e.g. ``float(fraction)``) before calling.
+        """
         os.makedirs(self.directory, exist_ok=True)
+        self.sweep_tmp()  # best-effort: drop orphans of crashed puts
         path = self._path(key)
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=2, default=str, sort_keys=True)
+                json.dump(
+                    payload, fh, indent=2, sort_keys=True,
+                    default=_reject_non_json,
+                )
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -124,6 +137,30 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def sweep_tmp(self, max_age_seconds: float = 300.0) -> int:
+        """Remove ``.tmp-*.json`` leftovers of crashed :meth:`put` calls.
+
+        Only files older than *max_age_seconds* go (a concurrent writer's
+        live temp file must survive); ``max_age_seconds=0`` sweeps
+        unconditionally (what :meth:`clear` does).  Returns the number
+        removed.
+        """
+        if not os.path.isdir(self.directory):
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for name in os.listdir(self.directory):
+            if not (name.startswith(".tmp-") and name.endswith(".json")):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if max_age_seconds <= 0 or os.path.getmtime(path) <= cutoff:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def entries(self) -> List[Dict[str, Any]]:
         """Metadata for every cache entry (key, exp_id, profile, size)."""
@@ -151,8 +188,11 @@ class ResultCache:
         return out
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
+        """Delete every entry and stale temp file; returns the number
+        removed.  Temp files are swept unconditionally here — ``clear``
+        is an explicit user action, so even a fresh ``.tmp-`` orphan
+        (invisible to :meth:`entries`) must not survive it."""
+        removed = self.sweep_tmp(max_age_seconds=0.0)
         for entry in self.entries():
             try:
                 os.unlink(self._path(entry["key"]))
@@ -160,3 +200,12 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+
+def _reject_non_json(value: Any) -> Any:
+    """``json.dump`` default hook: refuse silent stringification."""
+    raise TypeError(
+        f"cache payload contains a non-JSON value of type "
+        f"{type(value).__name__}: {value!r}; encode it explicitly before "
+        f"ResultCache.put() (a hit must round-trip the fresh run's types)"
+    )

@@ -1,0 +1,52 @@
+"""Multi-tenant traffic serving over the analytic NPU models.
+
+The two-task figures (14/15) answer "how do two co-resident tasks
+interfere?"; this package answers the production question behind
+§IV-B's SLA dilemma: given a *stream* of requests from secure- and
+normal-world tenants, what latency distribution does each isolation
+mechanism deliver?  A seeded workload generator produces deterministic
+arrival streams (:mod:`repro.serving.workload`), pluggable dispatch
+policies pick what runs next (:mod:`repro.serving.policies`), the
+simulator serves the stream under a chosen mechanism
+(:mod:`repro.serving.queueing`) and the report renders per-tenant
+p50/p95/p99 + SLA attainment (:mod:`repro.serving.report`).
+
+CLI: ``repro serve <scenario> --mechanism snpu --rps 240 --duration 400``.
+"""
+
+from repro.serving.policies import POLICIES, Policy
+from repro.serving.queueing import (
+    MECHANISMS,
+    CompletedRequest,
+    RateOracle,
+    ServeOutcome,
+    ServeSimulator,
+)
+from repro.serving.report import ServeReport, TenantReport, nearest_rank
+from repro.serving.workload import (
+    SCENARIOS,
+    Request,
+    Scenario,
+    TenantSpec,
+    build_model,
+    generate,
+)
+
+__all__ = [
+    "POLICIES",
+    "Policy",
+    "MECHANISMS",
+    "CompletedRequest",
+    "RateOracle",
+    "ServeOutcome",
+    "ServeSimulator",
+    "ServeReport",
+    "TenantReport",
+    "nearest_rank",
+    "SCENARIOS",
+    "Request",
+    "Scenario",
+    "TenantSpec",
+    "build_model",
+    "generate",
+]

@@ -1,0 +1,203 @@
+"""Per-tenant SLA reporting for one serving run.
+
+Percentiles use the nearest-rank method (the value at ceil(p/100 * n),
+1-indexed, of the sorted sample) — exact, deterministic, and never an
+interpolated value that no request actually experienced.  ``to_dict``
+contains only quantities derived from the seeded simulation (no
+wall-clock, no environment), and ``render("json")`` dumps it with sorted
+keys — so the same ``--seed`` produces bit-identical JSON on every run,
+which the CI smoke job and the determinism test both rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.serving.queueing import CompletedRequest, ServeOutcome
+
+
+def nearest_rank(sorted_values: List[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class TenantReport:
+    """Latency/SLA statistics of one tenant (or the aggregate)."""
+
+    tenant: str
+    world: str
+    sla_ms: Optional[float]
+    n: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    sla_attainment: float
+    mean_wait_ms: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "world": self.world,
+            "sla_ms": self.sla_ms,
+            "n": self.n,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+            "sla_attainment": self.sla_attainment,
+            "mean_wait_ms": self.mean_wait_ms,
+        }
+
+
+def _tenant_stats(
+    name: str,
+    world: str,
+    sla_ms: Optional[float],
+    completed: List[CompletedRequest],
+    cycles_per_ms: float,
+) -> TenantReport:
+    latencies = sorted(c.latency for c in completed)
+    n = len(latencies)
+    mean = sum(latencies) / n if n else 0.0
+    mean_wait = sum(c.wait for c in completed) / n if n else 0.0
+    ok = sum(1 for c in completed if c.sla_ok)
+    return TenantReport(
+        tenant=name,
+        world=world,
+        sla_ms=sla_ms,
+        n=n,
+        mean_ms=mean / cycles_per_ms,
+        p50_ms=nearest_rank(latencies, 50.0) / cycles_per_ms,
+        p95_ms=nearest_rank(latencies, 95.0) / cycles_per_ms,
+        p99_ms=nearest_rank(latencies, 99.0) / cycles_per_ms,
+        max_ms=(latencies[-1] / cycles_per_ms) if n else 0.0,
+        sla_attainment=(ok / n) if n else 1.0,
+        mean_wait_ms=mean_wait / cycles_per_ms,
+    )
+
+
+@dataclass
+class ServeReport:
+    """The full SLA report: per-tenant stats + overhead decomposition."""
+
+    outcome: ServeOutcome
+    tenants: List[TenantReport]
+    aggregate: TenantReport
+    flush_share: float
+    world_share: float
+    makespan_ms: float
+
+    @classmethod
+    def build(cls, outcome: ServeOutcome) -> "ServeReport":
+        cycles_per_ms = outcome.freq_ghz * 1e6
+        by_tenant: Dict[str, List[CompletedRequest]] = {}
+        worlds: Dict[str, str] = {}
+        slas: Dict[str, float] = {}
+        for comp in outcome.completed:
+            by_tenant.setdefault(comp.request.tenant, []).append(comp)
+            worlds[comp.request.tenant] = comp.request.world
+            slas[comp.request.tenant] = (
+                comp.request.sla_cycles / cycles_per_ms
+            )
+        tenants = [
+            _tenant_stats(
+                name, worlds[name], slas[name], by_tenant[name], cycles_per_ms
+            )
+            for name in sorted(by_tenant)
+        ]
+        aggregate = _tenant_stats(
+            "all", "-", None, outcome.completed, cycles_per_ms
+        )
+        busy = outcome.busy_cycles
+        return cls(
+            outcome=outcome,
+            tenants=tenants,
+            aggregate=aggregate,
+            flush_share=(outcome.flush_cycles / busy) if busy else 0.0,
+            world_share=(outcome.world_cycles / busy) if busy else 0.0,
+            makespan_ms=outcome.makespan / cycles_per_ms,
+        )
+
+    def tenant(self, name: str) -> TenantReport:
+        for report in self.tenants:
+            if report.tenant == name:
+                return report
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.outcome
+        return {
+            "scenario": out.scenario,
+            "mechanism": out.mechanism,
+            "policy": out.policy,
+            "rps": out.rps,
+            "duration_ms": out.duration_ms,
+            "seed": out.seed,
+            "completed": len(out.completed),
+            "makespan_ms": self.makespan_ms,
+            "overheads": {
+                "flushes": out.flushes,
+                "flush_cycles": out.flush_cycles,
+                "flush_share": self.flush_share,
+                "world_switches": out.world_switches,
+                "world_cycles": out.world_cycles,
+                "world_switch_share": self.world_share,
+            },
+            "tenants": {t.tenant: t.to_dict() for t in self.tenants},
+            "aggregate": self.aggregate.to_dict(),
+        }
+
+    def render(self, fmt: str = "table") -> str:
+        if fmt == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        return self._render_table()
+
+    def _render_table(self) -> str:
+        out = self.outcome
+        lines = [
+            f"== serve: scenario={out.scenario} mechanism={out.mechanism} "
+            f"policy={out.policy} rps={out.rps:g} "
+            f"duration={out.duration_ms:g}ms seed={out.seed} =="
+        ]
+        columns = ("tenant", "world", "sla_ms", "n", "p50_ms", "p95_ms",
+                   "p99_ms", "sla%", "wait_ms")
+        rows = []
+        for report in self.tenants + [self.aggregate]:
+            rows.append((
+                report.tenant,
+                report.world,
+                f"{report.sla_ms:.1f}" if report.sla_ms is not None else "-",
+                str(report.n),
+                f"{report.p50_ms:.3f}",
+                f"{report.p95_ms:.3f}",
+                f"{report.p99_ms:.3f}",
+                f"{report.sla_attainment:.1%}",
+                f"{report.mean_wait_ms:.3f}",
+            ))
+        widths = [
+            max(len(columns[i]), max(len(row[i]) for row in rows))
+            for i in range(len(columns))
+        ]
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        lines.append(
+            f"overheads: {out.flushes} flushes "
+            f"({self.flush_share:.2%} of busy cycles), "
+            f"{out.world_switches} world switches "
+            f"({self.world_share:.2%}); makespan {self.makespan_ms:.1f} ms"
+        )
+        return "\n".join(lines) + "\n"

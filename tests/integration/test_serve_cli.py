@@ -1,0 +1,106 @@
+"""Integration tests for ``repro serve`` and the §IV-B acceptance ordering."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.npu.config import NPUConfig
+from repro.serving.queueing import ServeSimulator
+from repro.serving.report import ServeReport
+from repro.serving.workload import SCENARIOS
+
+
+class TestServeCLI:
+    def test_json_is_bit_identical_across_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = main([
+                "serve", "default", "--mechanism", "flush-layer",
+                "--duration", "300", "--seed", "42",
+                "--format", "json", "-o", str(path),
+            ])
+            assert code == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_json_payload_schema(self, tmp_path):
+        path = tmp_path / "report.json"
+        assert main([
+            "serve", "default", "--mechanism", "snpu",
+            "--duration", "300", "--format", "json", "-o", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["scenario"] == "default"
+        assert payload["mechanism"] == "snpu"
+        assert payload["seed"] == 0
+        assert payload["completed"] > 0
+        assert set(payload["tenants"]) == {"cam", "nlp", "batch"}
+        assert {"flushes", "flush_share", "world_switches"} <= set(
+            payload["overheads"]
+        )
+
+    def test_table_reports_flows_and_audit(self, capsys):
+        assert main([
+            "serve", "default", "--mechanism", "flush-tile",
+            "--duration", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mechanism=flush-tile" in out
+        for name in ("cam", "nlp", "batch"):
+            assert name in out
+        assert "request flows tracked" in out
+        assert "audit records" in out
+
+    def test_trace_file_is_chrome_trace(self, tmp_path):
+        trace = tmp_path / "serve.trace.json"
+        assert main([
+            "serve", "default", "--mechanism", "partition",
+            "--duration", "200", "--trace", str(trace),
+        ]) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_other_scenarios_serve(self, tmp_path):
+        for scenario in ("secure-heavy", "burst"):
+            assert main([
+                "serve", scenario, "--mechanism", "flush-layer5",
+                "--duration", "200", "--format", "json",
+                "-o", str(tmp_path / f"{scenario}.json"),
+            ]) == 0
+
+
+class TestAcceptanceOrdering:
+    """The §IV-B SLA dilemma on the default scenario at its defaults."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        config = NPUConfig.paper_default()
+        scheduler = MultiTaskScheduler(config)  # shared analytic cache
+        out = {}
+        for mechanism in ("snpu", "partition", "flush-tile"):
+            sim = ServeSimulator(
+                SCENARIOS["default"], mechanism=mechanism, seed=0,
+                config=config, scheduler=scheduler,
+            )
+            out[mechanism] = ServeReport.build(sim.run())
+        return out
+
+    def test_per_tenant_p99_ordering(self, reports):
+        for spec in SCENARIOS["default"].tenants:
+            snpu = reports["snpu"].tenant(spec.name).p99_ms
+            partition = reports["partition"].tenant(spec.name).p99_ms
+            tile = reports["flush-tile"].tenant(spec.name).p99_ms
+            assert snpu < partition < tile, (
+                f"{spec.name}: p99 snpu={snpu:.3f} partition={partition:.3f} "
+                f"flush-tile={tile:.3f} violates snpu < partition < flush-tile"
+            )
+
+    def test_flush_overhead_only_under_temporal(self, reports):
+        assert reports["flush-tile"].flush_share > 0.0
+        assert reports["snpu"].flush_share == 0.0
+        assert reports["partition"].flush_share == 0.0
+
+    def test_same_stream_under_every_mechanism(self, reports):
+        counts = {m: r.aggregate.n for m, r in reports.items()}
+        assert len(set(counts.values())) == 1

@@ -91,6 +91,63 @@ class TestStore:
         assert ResultCache().directory == str(tmp_path / "env")
 
 
+class TestTmpOrphans:
+    def _plant_tmp(self, cache, name=".tmp-123.json", age=3600.0):
+        os.makedirs(cache.directory, exist_ok=True)
+        path = os.path.join(cache.directory, name)
+        with open(path, "w") as fh:
+            fh.write("{}")
+        old = os.path.getmtime(path) - age
+        os.utime(path, (old, old))
+        return path
+
+    def test_tmp_files_invisible_to_entries(self, cache):
+        cache.put("k1", _payload())
+        self._plant_tmp(cache)
+        assert [e["exp_id"] for e in cache.entries()] == ["fig99"]
+
+    def test_sweep_removes_stale_tmp_only(self, cache):
+        stale = self._plant_tmp(cache, ".tmp-old.json", age=3600.0)
+        fresh = self._plant_tmp(cache, ".tmp-new.json", age=0.0)
+        assert cache.sweep_tmp() == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)
+
+    def test_put_sweeps_stale_orphans(self, cache):
+        stale = self._plant_tmp(cache, age=3600.0)
+        cache.put("k1", _payload())
+        assert not os.path.exists(stale)
+        assert cache.get("k1") == _payload()
+
+    def test_clear_sweeps_all_tmp(self, cache):
+        fresh = self._plant_tmp(cache, age=0.0)
+        cache.put("k1", _payload())
+        assert cache.clear() == 2  # the entry + the orphan
+        assert not os.path.exists(fresh)
+        assert cache.entries() == []
+
+
+class TestStrictJSON:
+    def test_put_rejects_non_json_values(self, cache):
+        bad = _payload()
+        bad["metrics"]["seen"] = {1, 2, 3}  # a set is not JSON
+        with pytest.raises(TypeError, match="non-JSON value of type set"):
+            cache.put("k1", bad)
+
+    def test_rejected_put_leaves_no_entry(self, cache):
+        bad = _payload()
+        bad["elapsed"] = complex(1, 2)
+        with pytest.raises(TypeError):
+            cache.put("k1", bad)
+        assert cache.get("k1") is None
+        assert cache.entries() == []
+
+    def test_round_trip_is_exact_for_json_payloads(self, cache):
+        payload = _payload()
+        cache.put("k1", payload)
+        assert cache.get("k1") == payload
+
+
 class TestResultRoundTrip:
     def test_from_dict_inverts_to_dict(self):
         result = ExperimentResult(

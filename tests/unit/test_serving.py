@@ -1,0 +1,293 @@
+"""Unit tests for the multi-tenant serving simulator (:mod:`repro.serving`)."""
+
+import json
+
+import pytest
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.errors import ConfigError
+from repro.npu.config import NPUConfig
+from repro.serving import (
+    MECHANISMS,
+    POLICIES,
+    SCENARIOS,
+    Policy,
+    RateOracle,
+    Request,
+    Scenario,
+    ServeReport,
+    ServeSimulator,
+    TenantSpec,
+    build_model,
+    generate,
+    nearest_rank,
+)
+
+#: Short admission window so unit-level simulations stay fast; the full
+#: scenario defaults are exercised by the integration suite.
+SHORT_MS = 150.0
+
+
+@pytest.fixture(scope="module")
+def shared_scheduler():
+    """One scheduler for the whole module: reuses the analytic run cache."""
+    return MultiTaskScheduler(NPUConfig.paper_default())
+
+
+def _req(rid, tenant="t", model="yololite", world="normal", arrival=0.0,
+         priority=0, sla=1e9):
+    return Request(rid=rid, tenant=tenant, model=model, world=world,
+                   arrival=arrival, priority=priority, sla_cycles=sla)
+
+
+class TestWorkload:
+    def test_generate_is_deterministic(self):
+        a = generate(SCENARIOS["default"], seed=7)
+        b = generate(SCENARIOS["default"], seed=7)
+        assert a == b
+
+    def test_seed_changes_the_stream(self):
+        a = generate(SCENARIOS["default"], seed=0)
+        b = generate(SCENARIOS["default"], seed=1)
+        assert a != b
+
+    def test_requests_sorted_and_rids_sequential(self):
+        reqs = generate(SCENARIOS["default"], seed=3)
+        assert [r.rid for r in reqs] == list(range(len(reqs)))
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+
+    def test_tenant_attributes_propagate(self):
+        reqs = generate(SCENARIOS["default"], seed=0)
+        spec = SCENARIOS["default"].tenant("cam")
+        cam = [r for r in reqs if r.tenant == "cam"]
+        assert cam, "cam generated no requests"
+        mix = {key for key, _ in spec.models}
+        for r in cam:
+            assert r.world == "secure"
+            assert r.model in mix
+            assert r.sla_cycles == spec.sla_ms * 1e6
+
+    def test_adding_a_tenant_preserves_other_streams(self):
+        base = SCENARIOS["burst"]
+        extended = Scenario(
+            name=base.name, description=base.description,
+            tenants=base.tenants[:1] + (
+                TenantSpec(name="extra", world="normal",
+                           models=(("mobilenet", 1.0),),
+                           share=base.tenants[1].share, sla_ms=10.0),
+            ),
+            rps=base.rps, duration_ms=base.duration_ms,
+        )
+        cam_base = [(r.arrival, r.model) for r in generate(base, seed=5)
+                    if r.tenant == "cam"]
+        cam_ext = [(r.arrival, r.model) for r in generate(extended, seed=5)
+                   if r.tenant == "cam"]
+        assert cam_base == cam_ext
+
+    def test_share_sum_validated(self):
+        with pytest.raises(ConfigError, match="shares sum"):
+            Scenario(
+                name="bad", description="x",
+                tenants=(
+                    TenantSpec(name="a", world="normal",
+                               models=(("yololite", 1.0),),
+                               share=0.6, sla_ms=1.0),
+                ),
+                rps=10.0, duration_ms=10.0,
+            )
+
+    def test_burst_duty_validated(self):
+        with pytest.raises(ConfigError, match="burst_factor"):
+            TenantSpec(name="a", world="normal",
+                       models=(("yololite", 1.0),), share=1.0, sla_ms=1.0,
+                       arrival="bursty", burst_factor=5.0, duty=0.25)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError, match="unknown model"):
+            build_model("transfomer")
+
+
+class TestPolicy:
+    def test_fifo_picks_earliest_arrival(self):
+        policy = Policy("fifo", ("a", "b"))
+        first = _req(1, tenant="b", arrival=5.0)
+        assert policy.pick([_req(0, tenant="a", arrival=9.0), first]) is first
+
+    def test_priority_beats_arrival(self):
+        policy = Policy("priority", ("a", "b"))
+        urgent = _req(1, tenant="b", arrival=9.0, priority=0)
+        late = _req(0, tenant="a", arrival=1.0, priority=2)
+        assert policy.pick([late, urgent]) is urgent
+
+    def test_rr_rotates_over_tenants(self):
+        policy = Policy("rr", ("a", "b", "c"))
+        heads = [_req(0, tenant="a"), _req(1, tenant="b"), _req(2, tenant="c")]
+        picked = [policy.pick(heads).tenant for _ in range(4)]
+        assert picked == ["a", "b", "c", "a"]
+
+    def test_rr_skips_empty_tenants(self):
+        policy = Policy("rr", ("a", "b", "c"))
+        heads = [_req(0, tenant="c")]
+        assert policy.pick(heads).tenant == "c"
+
+    def test_spatial_prefers_best_pairing(self):
+        norms = {("m", "x"): 3.0, ("m", "y"): 2.0}
+        policy = Policy("spatial", ("a", "b"),
+                        pair_norm=lambda run, cand: norms[(run, cand)])
+        x = _req(0, tenant="a", model="x", arrival=0.0)
+        y = _req(1, tenant="b", model="y", arrival=9.0)
+        assert policy.pick([x, y], partner_model="m") is y
+        # Without a running partner it degrades to fifo order.
+        assert policy.pick([x, y], partner_model=None) is x
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown policy"):
+            Policy("lifo", ("a",))
+
+
+class TestRateOracle:
+    @pytest.fixture(scope="class")
+    def oracles(self, shared_scheduler):
+        keys = SCENARIOS["default"].model_keys()
+        models = {key: build_model(key) for key in keys}
+        return (
+            RateOracle(shared_scheduler, models, "snpu"),
+            RateOracle(shared_scheduler, models, "partition"),
+            keys,
+        )
+
+    def test_snpu_alone_never_slower_than_partition(self, oracles):
+        snpu, partition, keys = oracles
+        for key in keys:
+            assert snpu.alone(key) <= partition.alone(key)
+            assert snpu.alone(key) <= snpu.solo(key)
+
+    def test_snpu_pair_pareto_dominates_partition(self, oracles):
+        snpu, partition, keys = oracles
+        for a in keys:
+            for b in keys:
+                sa, sb = snpu.pair(a, b)
+                pa, pb = partition.pair(a, b)
+                assert sa <= pa and sb <= pb
+
+    def test_pair_is_orientation_consistent(self, oracles):
+        snpu, _, _ = oracles
+        t_a, t_b = snpu.pair("yololite", "bert")
+        assert snpu.pair("bert", "yololite") == (t_b, t_a)
+
+    def test_temporal_mechanism_has_no_oracle(self, shared_scheduler):
+        with pytest.raises(ConfigError, match="no spatial rates"):
+            RateOracle(shared_scheduler, {}, "flush-tile")
+
+
+class TestTemporalAccounting:
+    @pytest.fixture(scope="class")
+    def outcome(self, shared_scheduler):
+        sim = ServeSimulator(
+            SCENARIOS["default"], mechanism="flush-tile", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        return sim, sim.run()
+
+    def test_every_arrival_completes(self, outcome):
+        sim, out = outcome
+        expected = generate(sim.scenario, rps=sim.rps,
+                            duration_ms=SHORT_MS, seed=0)
+        assert len(out.completed) == len(expected)
+
+    def test_flush_cycles_are_flushes_times_switch_cost(self, outcome):
+        sim, out = outcome
+        assert out.flushes > 0
+        assert out.flush_cycles == pytest.approx(out.flushes * sim.switch_cost)
+
+    def test_world_cycles_are_switches_times_context_cost(self, outcome):
+        sim, out = outcome
+        assert out.world_switches > 0
+        assert out.world_cycles == pytest.approx(
+            out.world_switches * sim.config.context_switch_cycles
+        )
+
+    def test_latency_decomposition_is_consistent(self, outcome):
+        _, out = outcome
+        for c in out.completed:
+            assert c.latency > 0
+            assert c.latency + 1e-6 >= c.service + c.flush + c.world
+            assert c.wait >= 0.0
+
+    def test_makespan_covers_all_completions(self, outcome):
+        _, out = outcome
+        assert out.makespan >= max(c.completion for c in out.completed)
+
+
+class TestSpatialInvariants:
+    def test_spatial_pays_no_flushes(self, shared_scheduler):
+        for mechanism in ("snpu", "partition"):
+            out = ServeSimulator(
+                SCENARIOS["default"], mechanism=mechanism, seed=0,
+                duration_ms=SHORT_MS, scheduler=shared_scheduler,
+            ).run()
+            assert out.flushes == 0 and out.flush_cycles == 0.0
+            assert len(out.completed) > 0
+
+    def test_unknown_mechanism_rejected(self, shared_scheduler):
+        with pytest.raises(ConfigError, match="unknown mechanism"):
+            ServeSimulator(SCENARIOS["default"], mechanism="magic",
+                           scheduler=shared_scheduler)
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, shared_scheduler):
+        renders = []
+        for _ in range(2):
+            sim = ServeSimulator(
+                SCENARIOS["default"], mechanism="snpu", seed=11,
+                duration_ms=SHORT_MS, scheduler=shared_scheduler,
+            )
+            renders.append(ServeReport.build(sim.run()).render("json"))
+        assert renders[0] == renders[1]
+
+    def test_different_seeds_differ(self, shared_scheduler):
+        outs = [
+            ServeSimulator(
+                SCENARIOS["default"], mechanism="snpu", seed=seed,
+                duration_ms=SHORT_MS, scheduler=shared_scheduler,
+            ).run()
+            for seed in (0, 1)
+        ]
+        assert [c.request.arrival for c in outs[0].completed] != [
+            c.request.arrival for c in outs[1].completed
+        ]
+
+
+class TestReport:
+    def test_nearest_rank_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert nearest_rank(values, 50.0) == 50.0
+        assert nearest_rank(values, 99.0) == 99.0
+        assert nearest_rank(values, 100.0) == 100.0
+        assert nearest_rank([42.0], 99.0) == 42.0
+
+    def test_report_structure(self, shared_scheduler):
+        sim = ServeSimulator(
+            SCENARIOS["default"], mechanism="flush-layer", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        report = ServeReport.build(sim.run())
+        payload = json.loads(report.render("json"))
+        assert payload["mechanism"] == "flush-layer"
+        assert set(payload["tenants"]) == {"cam", "nlp", "batch"}
+        overheads = payload["overheads"]
+        assert 0.0 <= overheads["flush_share"] <= 1.0
+        for tenant in payload["tenants"].values():
+            assert tenant["p50_ms"] <= tenant["p95_ms"] <= tenant["p99_ms"]
+            assert 0.0 <= tenant["sla_attainment"] <= 1.0
+
+    def test_table_render_mentions_every_tenant(self, shared_scheduler):
+        sim = ServeSimulator(
+            SCENARIOS["default"], mechanism="partition", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        table = ServeReport.build(sim.run()).render("table")
+        for name in ("cam", "nlp", "batch"):
+            assert name in table

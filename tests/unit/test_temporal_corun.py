@@ -58,6 +58,104 @@ class TestTemporalCorun:
         assert tile_run.makespan > coarse_run.makespan
 
 
+def _reference_switches(quanta_a, quanta_b):
+    """Replay the round-robin hand-off sequence and count alternations."""
+    ia = ib = 0
+    turn, prev, switches = "a", None, 0
+    while ia < len(quanta_a) or ib < len(quanta_b):
+        if turn == "a":
+            ran = "a" if ia < len(quanta_a) else "b"
+        else:
+            ran = "b" if ib < len(quanta_b) else "a"
+        if prev is not None and ran != prev:
+            switches += 1
+        if ran == "a":
+            ia += 1
+        else:
+            ib += 1
+        prev = ran
+        turn = "b" if ran == "a" else "a"
+    return switches
+
+
+class TestDrainPhaseFlushAccounting:
+    """Regression: no phantom flushes once one task has drained its quanta."""
+
+    @pytest.fixture
+    def patched(self, scheduler, monkeypatch):
+        """Install synthetic per-model quanta so hand-offs are controlled."""
+        a, b = synthetic_mlp(), synthetic_cnn()
+        quanta = {}
+
+        def fake_quanta(model, granularity, flushed=False):
+            return list(quanta[model.name])
+
+        monkeypatch.setattr(scheduler, "_quanta", fake_quanta)
+        return scheduler, a, b, quanta
+
+    def test_survivor_drain_pays_no_switches(self, patched):
+        scheduler, a, b, quanta = patched
+        # a: 1 quantum, b: 4.  Sequence a b | b b b — exactly one hand-off.
+        quanta[a.name] = [100.0]
+        quanta[b.name] = [50.0] * 4
+        res = scheduler.temporal_corun(a, b, "layer")
+        assert res.switches == 1
+
+    def test_empty_task_never_switches(self, patched):
+        scheduler, a, b, quanta = patched
+        quanta[a.name] = []
+        quanta[b.name] = [50.0, 50.0]
+        res = scheduler.temporal_corun(a, b, "layer")
+        assert res.switches == 0
+        assert res.t_b == 100.0
+
+    @pytest.mark.parametrize("na,nb", [(1, 1), (2, 5), (5, 2), (4, 4), (0, 3)])
+    def test_switches_equal_actual_alternations(self, patched, na, nb):
+        scheduler, a, b, quanta = patched
+        quanta[a.name] = [10.0] * na
+        quanta[b.name] = [20.0] * nb
+        res = scheduler.temporal_corun(a, b, "layer")
+        assert res.switches == _reference_switches(quanta[a.name],
+                                                   quanta[b.name])
+
+    def test_makespan_is_work_plus_paid_switches(self, patched):
+        scheduler, a, b, quanta = patched
+        quanta[a.name] = [10.0, 10.0]
+        quanta[b.name] = [30.0] * 5
+        switch_cost = (
+            scheduler.config.scrub_cycles(scheduler.config.spad_lines)
+            + scheduler.config.context_switch_cycles
+        )
+        res = scheduler.temporal_corun(a, b, "layer")
+        work = sum(quanta[a.name]) + sum(quanta[b.name])
+        assert res.makespan == work + res.switches * switch_cost
+
+    def test_real_models_pay_one_switch_per_alternation(self, scheduler):
+        # End-to-end version of the same invariant on real quanta.
+        a, b = zoo.yololite(56), zoo.mobilenet(56)
+        res = scheduler.temporal_corun(a, b, "layer")
+        expected = _reference_switches(
+            scheduler.quanta(a, "layer"), scheduler.quanta(b, "layer")
+        )
+        assert res.switches == expected
+
+
+class TestFlushedQuanta:
+    def test_flushed_quanta_carry_writeback_inflation(self, scheduler):
+        model = zoo.yololite(56)
+        plain = scheduler.quanta(model, "tile")
+        flushed = scheduler.quanta(model, "tile", flushed=True)
+        assert len(plain) == len(flushed)
+        assert sum(flushed) > sum(plain)
+
+    def test_flushed_total_matches_flush_run(self, scheduler):
+        model = zoo.mobilenet(56)
+        flushed = scheduler.quanta(model, "layer", flushed=True)
+        assert sum(flushed) == pytest.approx(
+            scheduler.run(model, flush="layer").cycles
+        )
+
+
 class TestExtraWorkloads:
     def test_vgg16_shape(self):
         model = zoo.vgg16(224)
