@@ -12,6 +12,8 @@
     python -m repro flows mobilenet --controller iommu-4 --top 10
     python -m repro audit --jobs 4 -o audit.jsonl  # security audit ledger
     python -m repro serve default --mechanism snpu --rps 240 --duration 400
+    python -m repro watch nlp-mix --seed 7 --window 50   # live window timeline
+    python -m repro slo nlp-mix --spec specs/nlp-mix.slo.json  # exit 1 on breach
     python -m repro profile resnet --protection snpu --diff baseline
     python -m repro profile resnet --host  # cProfile the simulator itself
     python -m repro bench diff BENCH_profile.json new.json
@@ -33,7 +35,7 @@ from repro.workloads import zoo
 EXPERIMENT_IDS = (
     "fig01", "fig13", "fig13-energy", "fig14", "fig15", "fig16", "fig17",
     "fig18", "table1", "tcb", "sensitivity", "serve-sweep", "access-paths",
-    "all",
+    "watch", "all",
 )
 
 
@@ -128,7 +130,12 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
                 if result.succeeded
                 else f"blocked by {result.blocked_by}"
             )
-            print(f"  {result.name:28s} {outcome}")
+            latency = result.detection_latency
+            if latency is not None:
+                detect = f"detected at +{latency:g} cycles"
+            else:
+                detect = "undetected (below all checks)"
+            print(f"  {result.name:28s} {outcome:42s} [{detect}]")
     return 0
 
 
@@ -446,7 +453,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         outcome = simulator.run()
-        report = ServeReport.build(outcome)
+        report = ServeReport.build(outcome, scenario=scenario)
         n_flows = len(scope.flows)
         n_audit = len(scope.audit)
         trace_payload = (
@@ -462,6 +469,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"({n_flows} request flows tracked, "
               f"{n_audit} audit records)")
     return 0
+
+
+def _serve_windowed(args: argparse.Namespace, window_ms: float):
+    """Run one windowed serving simulation for ``watch``/``slo``."""
+    from repro.serving.queueing import ServeSimulator
+    from repro.serving.workload import SCENARIOS
+
+    scenario = SCENARIOS[args.scenario]
+    with telemetry.scoped(trace=False, profile=False, flow=True):
+        simulator = ServeSimulator(
+            scenario,
+            mechanism=args.mechanism,
+            policy=args.policy,
+            rps=args.rps,
+            duration_ms=args.duration,
+            seed=args.seed,
+            window_ms=window_ms,
+        )
+        outcome = simulator.run()
+    return scenario, outcome
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Live per-window timeline of one serving run.
+
+    The output is byte-deterministic for a fixed seed (the CI smoke job
+    runs it twice and compares bytes); the per-window partial sums are
+    reconciled exactly against the run totals before anything prints.
+    """
+    scenario, outcome = _serve_windowed(args, args.window)
+    windows = outcome.windows
+    assert windows is not None
+    timeline = windows.timeline()
+    if args.format == "json":
+        payload = {
+            "scenario": outcome.scenario,
+            "mechanism": outcome.mechanism,
+            "policy": outcome.policy,
+            "seed": outcome.seed,
+            "rps": outcome.rps,
+            "duration_ms": outcome.duration_ms,
+            "window_ms": windows.window_ms,
+            "completed": len(outcome.completed),
+            "makespan_cycles": outcome.makespan,
+            "timeline": timeline,
+        }
+        _emit(json.dumps(payload, indent=2, sort_keys=True) + "\n", args.out)
+        return 0
+    cycles_per_ms = outcome.freq_ghz * 1e6
+    names = windows.tenant_names
+    lines = [
+        f"== watch: scenario={outcome.scenario} mechanism={outcome.mechanism} "
+        f"policy={outcome.policy} rps={outcome.rps:g} "
+        f"duration={outcome.duration_ms:g}ms window={windows.window_ms:g}ms "
+        f"seed={outcome.seed} ==",
+        "win  t_ms      arr  done  ok    deny  flush  wsw   p99_ms",
+    ]
+    for rec in timeline:
+        tenants = rec["tenants"]
+        arr = sum(t["arrivals"] for t in tenants.values())
+        done = sum(t["completions"] for t in tenants.values())
+        ok = sum(t["sla_ok"] for t in tenants.values())
+        deny = sum(t["denies"] for t in tenants.values())
+        p99s = " ".join(
+            f"{name}=" + (
+                "-" if tenants[name]["p99_ms"] is None
+                else f"{tenants[name]['p99_ms']:.2f}"
+            )
+            for name in names
+        )
+        lines.append(
+            f"{rec['window']:>3d}  {rec['end_cycle'] / cycles_per_ms:<8g} "
+            f"{arr:>4d} {done:>5d} {ok:>5d} {deny:>5d} "
+            f"{rec['flushes']:>6d} {rec['world_switches']:>4d}   {p99s}"
+        )
+    lines.append(
+        f"totals: {len(outcome.completed)} completed over "
+        f"{len(timeline)} windows; {outcome.flushes} flushes, "
+        f"{outcome.world_switches} world switches; window partial sums "
+        f"reconcile exactly with run totals"
+    )
+    _emit("\n".join(lines) + "\n", args.out)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec against a live run; exit non-zero on breach."""
+    from repro.errors import ConfigError
+    from repro.telemetry.slo import SLOSpec, evaluate
+
+    try:
+        spec = SLOSpec.load(args.spec)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.scenario and spec.scenario != args.scenario:
+        print(
+            f"error: spec {args.spec!r} targets scenario "
+            f"{spec.scenario!r}, not {args.scenario!r}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario, outcome = _serve_windowed(args, spec.window_ms)
+    assert outcome.windows is not None
+    report = evaluate(spec, outcome.windows.timeline())
+    _emit(report.render(args.format), args.out)
+    return 0 if report.ok else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -768,6 +882,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome-trace with per-request flow arrows",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    def _windowed_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "scenario", nargs="?", default="default",
+            choices=sorted(SCENARIOS),
+            help="tenant population to serve (default: default)",
+        )
+        p.add_argument(
+            "--mechanism", choices=MECHANISMS, default="snpu",
+            help="isolation mechanism under test (default snpu)",
+        )
+        p.add_argument(
+            "--policy", choices=POLICIES, default="rr",
+            help="dispatch policy (default rr)",
+        )
+        p.add_argument(
+            "--rps", type=float, default=None, metavar="R",
+            help="aggregate request rate (default: the scenario's)",
+        )
+        p.add_argument(
+            "--duration", type=float, default=None, metavar="MS",
+            help="admission-window length in ms (default: the scenario's)",
+        )
+        p.add_argument("--seed", type=int, default=0,
+                       help="workload seed (same seed => identical bytes)")
+        p.add_argument("--format", choices=("table", "json"),
+                       default="table")
+        p.add_argument("-o", "--out", default=None, metavar="PATH",
+                       help="write the output here instead of stdout")
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live per-window timeline of a serving run "
+             "(sliding-window metrics keyed on simulated cycles)",
+    )
+    _windowed_args(p_watch)
+    p_watch.add_argument(
+        "--window", type=float, default=50.0, metavar="MS",
+        help="tumbling-window size in simulated ms (default 50)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate an SLO spec against a live serving run; "
+             "exit 1 on breach, 2 on a malformed spec",
+    )
+    _windowed_args(p_slo)
+    p_slo.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="JSON SLO spec (see specs/nlp-mix.slo.json)",
+    )
+    p_slo.set_defaults(func=_cmd_slo)
 
     p_prof = sub.add_parser(
         "profile",

@@ -25,6 +25,15 @@ class SimulationError(ReproError):
     """The simulation kernel reached an inconsistent state."""
 
 
+class ReconciliationError(ReproError):
+    """Streaming window partials failed to reconcile with run totals.
+
+    Raised by :mod:`repro.telemetry.windows` when the Fraction-exact sum
+    of per-window partial aggregates disagrees with the independently
+    computed end-of-run total — always a simulator/aggregator bug, never
+    an acceptable rounding artifact."""
+
+
 class SecurityViolation(ReproError):
     """Base class for every blocked attack / rejected request.
 

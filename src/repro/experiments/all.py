@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.experiments import fig01, fig13, fig14, fig15, fig16, fig17, fig18
-from repro.experiments import sensitivity, serve, table1, tcb
+from repro.experiments import sensitivity, serve, table1, tcb, watch
 from repro.experiments.registry import ExperimentRegistry
 from repro.experiments.runner import ExperimentResult
 
@@ -72,6 +72,8 @@ REGISTRY.register("serve-sweep", serve.run, cost=6.0,
                   description="multi-tenant serving SLA sweep (§IV-B)")
 REGISTRY.register("access-paths", _access_paths, cost=3.0, in_all=False,
                   description="access-path microbenchmarks")
+REGISTRY.register("watch", watch.run, cost=1.0,
+                  description="live observability window timeline")
 
 #: Backwards-compatible ``id -> callable(profile)`` view of the registry
 #: (everything that ``repro all`` runs).

@@ -28,12 +28,15 @@ access-control check, which is precisely its point.
 
 from __future__ import annotations
 
+import contextlib
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry.sentinel import SecuritySentinel
 from repro.common.types import AddressRange, DmaRequest, Permission, World
 from repro.errors import (
     AccessViolation,
@@ -74,12 +77,56 @@ class AttackResult:
     #: Audit-ledger records produced while the attack ran (the blocked
     #: verdict's corroborating evidence; see :func:`assert_expected_audit`).
     audit_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Streaming-sentinel verdict (:meth:`DetectionReport.to_dict`):
+    #: first-probe cycle, first-flag cycle, detection latency and the
+    #: flags raised *while the attack ran*.  None when the run produced
+    #: no audit activity at all — the physical cold-boot dump reads DRAM
+    #: below every checker, so there is nothing for a monitor to see.
+    detection: Optional[Dict[str, Any]] = None
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detection and self.detection["detected"])
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Cycles from first probe to first sentinel flag (None when
+        the attack was never detected)."""
+        if not self.detection:
+            return None
+        return self.detection["latency_cycles"]
 
 
 def _pad_lines(data: bytes, line_bytes: int) -> np.ndarray:
     n_lines = -(-len(data) // line_bytes)
     buf = bytearray(data) + bytes(n_lines * line_bytes - len(data))
     return np.frombuffer(bytes(buf), dtype=np.uint8).reshape(n_lines, line_bytes)
+
+
+@contextlib.contextmanager
+def _observed_scope(
+    name: str, **scoped_kw: Any
+) -> Iterator[Tuple[Any, SecuritySentinel]]:
+    """A telemetry scope with the streaming sentinel attached.
+
+    Records are stamped with the attack's name as origin and every
+    ledger append is observed *online* — detection latency is measured
+    as the run unfolds, never reconstructed from the final ledger."""
+    with telemetry.scoped(**scoped_kw) as scope:
+        scope.audit.set_origin(name)
+        sentinel = SecuritySentinel().attach(scope.audit)
+        try:
+            yield scope, sentinel
+        finally:
+            sentinel.detach()
+
+
+def _detection(sentinel: SecuritySentinel, name: str) -> Optional[Dict[str, Any]]:
+    """The sentinel's verdict for one attack (None: nothing observed)."""
+    report = sentinel.report(name)
+    if report.first_probe_cycle is None:
+        return None
+    return report.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -92,7 +139,9 @@ def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
     attempt must show up as ``mmu.guarder.denials`` — the same counter an
     operator would alert on in production.
     """
-    with telemetry.scoped(trace=False, flow=True) as scope:
+    with _observed_scope(
+        "dma_steal_secure_memory", trace=False, flow=True
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         memmap = MemoryMap.default()
         dram = DRAMModel(config.dram_bytes_per_cycle)
@@ -131,12 +180,14 @@ def attack_dma_steal_secure_memory(protection: str = "none") -> AttackResult:
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [guarder.denials={denials}]",
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "dma_steal_secure_memory"),
             )
         stolen = spad.raw_peek(0, 3).reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "dma_steal_secure_memory", protection, succeeded=stolen == SECRET,
             detail=f"read {stolen[:16]!r}...",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "dma_steal_secure_memory"),
         )
 
 
@@ -150,7 +201,7 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
     still there — the LeftoverLocals disclosure.  Under sNPU the read
     faults on the ID mismatch even *before* any scrub happens.
     """
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope("leftoverlocals", trace=False) as (scope, sentinel):
         config = NPUConfig.paper_default()
         mode = (
             SpadIsolationMode.ID_BASED
@@ -173,12 +224,14 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [scratchpad.violations={violations}]",
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "leftoverlocals"),
             )
         stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "leftoverlocals", protection, succeeded=stolen == SECRET,
             detail=f"recovered {stolen[:16]!r}...",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "leftoverlocals"),
         )
 
 
@@ -188,7 +241,9 @@ def attack_leftoverlocals(protection: str = "none") -> AttackResult:
 def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
     """A concurrently running non-secure core reads (and overwrites) the
     secure task's lines in the shared scratchpad."""
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope(
+        "global_spad_cotenant", trace=False
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         mode = (
             SpadIsolationMode.ID_BASED
@@ -212,12 +267,14 @@ def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [scratchpad.violations={violations}]",
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "global_spad_cotenant"),
             )
         stolen = leaked.reshape(-1).tobytes()[: len(SECRET)]
         return AttackResult(
             "global_spad_cotenant", protection, succeeded=stolen == SECRET,
             detail="read and overwrote secure lines",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "global_spad_cotenant"),
         )
 
 
@@ -227,7 +284,9 @@ def attack_global_spad_cotenant(protection: str = "none") -> AttackResult:
 def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
     """A compromised scheduler routes a secure core's intermediate
     results to a core the attacker controls (Fig. 7)."""
-    with telemetry.scoped(trace=False, flow=True) as scope:
+    with _observed_scope(
+        "noc_route_hijack", trace=False, flow=True
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         mesh = Mesh(2, 2)
         policy = (
@@ -252,6 +311,7 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
                 blocked_by=type(exc).__name__,
                 detail=f"{exc} [noc.packets_rejected={rejected}]",
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "noc_route_hijack"),
             )
         # The verdict comes from the fabric-wide registry metric, not a
         # router's private stats object.
@@ -260,6 +320,7 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
             "noc_route_hijack", protection, succeeded=received > 0,
             detail=f"attacker core received {received} packet(s)",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "noc_route_hijack"),
         )
 
 
@@ -269,7 +330,9 @@ def attack_noc_route_hijack(protection: str = "none") -> AttackResult:
 def attack_driver_sets_secure_context(protection: str = "snpu") -> AttackResult:
     """The normal-world driver tries to flip a core secure and rewrite the
     checking registers (so its task could pass the Guarder)."""
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope(
+        "driver_sets_secure_context", trace=False
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         guarder = NPUGuarder()
         core = NPUCore(config, guarder, DRAMModel(config.dram_bytes_per_cycle))
@@ -287,12 +350,14 @@ def attack_driver_sets_secure_context(protection: str = "snpu") -> AttackResult:
                 "driver_sets_secure_context", protection, succeeded=False,
                 blocked_by=type(exc).__name__, detail=str(exc),
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "driver_sets_secure_context"),
             )
         return AttackResult(
             "driver_sets_secure_context", protection,
             succeeded=core.world is World.SECURE,
             detail="driver obtained a secure core",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "driver_sets_secure_context"),
         )
 
 
@@ -303,7 +368,9 @@ def attack_tampered_task_code(protection: str = "snpu") -> AttackResult:
     """The driver swaps the verified program for a tampered one."""
     from repro.driver.compiler import TilingCompiler
 
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope(
+        "tampered_task_code", trace=False
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         compiler = TilingCompiler(config)
         program = compiler.compile(synthetic_mlp(), world=World.SECURE)
@@ -327,11 +394,13 @@ def attack_tampered_task_code(protection: str = "snpu") -> AttackResult:
                 "tampered_task_code", protection, succeeded=False,
                 blocked_by=type(exc).__name__, detail=str(exc),
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "tampered_task_code"),
             )
         return AttackResult(
             "tampered_task_code", protection, succeeded=True,
             detail="tampered program entered the secure queue",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "tampered_task_code"),
         )
 
 
@@ -342,7 +411,7 @@ def attack_wrong_topology(protection: str = "snpu") -> AttackResult:
     """A 2x2 secure task is scheduled onto a 1x4 line of cores (§IV-B)."""
     from repro.driver.compiler import TilingCompiler
 
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope("wrong_topology", trace=False) as (scope, sentinel):
         config = NPUConfig.paper_default()
         compiler = TilingCompiler(config)
         program = compiler.compile(synthetic_mlp(), world=World.SECURE)
@@ -363,11 +432,13 @@ def attack_wrong_topology(protection: str = "snpu") -> AttackResult:
                 "wrong_topology", protection, succeeded=False,
                 blocked_by=type(exc).__name__, detail=str(exc),
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "wrong_topology"),
             )
         return AttackResult(
             "wrong_topology", protection, succeeded=True,
             detail="task loaded on an unexpected topology",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "wrong_topology"),
         )
 
 
@@ -383,7 +454,9 @@ def attack_cold_boot_dram_dump(protection: str = "none") -> AttackResult:
     """
     from repro.memory.encryption import MemoryEncryptionEngine
 
-    with telemetry.scoped(trace=False) as scope:
+    with _observed_scope(
+        "cold_boot_dram_dump", trace=False
+    ) as (scope, sentinel):
         config = NPUConfig.paper_default()
         dram = DRAMModel(config.dram_bytes_per_cycle)
         spad = Scratchpad(256, config.spad_line_bytes)
@@ -413,12 +486,14 @@ def attack_cold_boot_dram_dump(protection: str = "none") -> AttackResult:
                 "cold_boot_dram_dump", protection, succeeded=True,
                 detail="plaintext model recovered from the DRAM dump",
                 audit_records=scope.audit.records,
+                detection=_detection(sentinel, "cold_boot_dram_dump"),
             )
         return AttackResult(
             "cold_boot_dram_dump", protection, succeeded=False,
             blocked_by="MemoryEncryptionEngine",
             detail="dump contains only ciphertext",
             audit_records=scope.audit.records,
+            detection=_detection(sentinel, "cold_boot_dram_dump"),
         )
 
 
@@ -481,16 +556,61 @@ def assert_expected_audit(result: AttackResult) -> None:
         )
 
 
+def assert_detection_corroborated(result: AttackResult) -> None:
+    """Corroborate the streaming sentinel against the final ledger.
+
+    For every attack with an audit expectation the sentinel must have
+    raised a flag *while the attack ran*, with a finite non-negative
+    detection latency, and its cycle stamps must agree with the ledger:
+    first probe = the first appended record, first flag = the first
+    appended denial.  An attack with no audit expectation (the physical
+    cold-boot dump) must conversely have raised nothing — a detector
+    that flags the undetectable is lying about its vantage point.
+    """
+    if EXPECTED_AUDIT.get(result.name) is None:
+        assert not result.detected, (
+            f"{result.name}: the sentinel flagged an attack that by "
+            f"design produces no audit activity"
+        )
+        return
+    det = result.detection
+    assert det is not None and det["detected"], (
+        f"{result.name}: blocked but the streaming sentinel never flagged"
+    )
+    latency = det["latency_cycles"]
+    assert latency is not None and latency >= 0 and math.isfinite(latency), (
+        f"{result.name}: detection latency {latency!r} is not finite"
+    )
+    records = result.audit_records
+    assert det["first_probe_cycle"] == records[0]["cycle"], (
+        f"{result.name}: sentinel first-probe cycle "
+        f"{det['first_probe_cycle']} != first ledger record cycle "
+        f"{records[0]['cycle']}"
+    )
+    first_deny = next(
+        (r for r in records if r["decision"] == "deny"), None
+    )
+    assert first_deny is not None, f"{result.name}: ledger has no denial"
+    assert det["first_flag_cycle"] == first_deny["cycle"], (
+        f"{result.name}: sentinel first-flag cycle "
+        f"{det['first_flag_cycle']} != first ledger denial cycle "
+        f"{first_deny['cycle']}"
+    )
+
+
 def run_all_attacks(protection: str) -> List[AttackResult]:
     """Run every attack against one protection level.
 
     Under ``protection="snpu"`` every blocked verdict is corroborated
     against the audit ledger via :func:`assert_expected_audit` — a
-    mechanism cannot claim a block without leaving the matching evidence.
+    mechanism cannot claim a block without leaving the matching evidence
+    — and the streaming sentinel's detection timeline is corroborated
+    against the same ledger via :func:`assert_detection_corroborated`.
     """
     results = [attack(protection) for attack in ALL_ATTACKS.values()]
     if protection == "snpu":
         for result in results:
             if not result.succeeded:
                 assert_expected_audit(result)
+                assert_detection_corroborated(result)
     return results

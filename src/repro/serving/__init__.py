@@ -14,6 +14,7 @@ p50/p95/p99 + SLA attainment (:mod:`repro.serving.report`).
 CLI: ``repro serve <scenario> --mechanism snpu --rps 240 --duration 400``.
 """
 
+from repro.serving.live import ServeWindows
 from repro.serving.policies import POLICIES, Policy
 from repro.serving.queueing import (
     MECHANISMS,
@@ -40,6 +41,7 @@ __all__ = [
     "RateOracle",
     "ServeOutcome",
     "ServeSimulator",
+    "ServeWindows",
     "ServeReport",
     "TenantReport",
     "nearest_rank",

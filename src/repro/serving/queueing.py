@@ -37,6 +37,7 @@ from repro import telemetry
 from repro.driver.scheduler import MultiTaskScheduler
 from repro.errors import ConfigError
 from repro.npu.config import NPUConfig
+from repro.serving.live import ServeWindows
 from repro.serving.policies import Policy
 from repro.serving.workload import (
     Request,
@@ -194,6 +195,9 @@ class ServeOutcome:
     flush_cycles: float = 0.0
     world_switches: int = 0
     world_cycles: float = 0.0
+    #: Live per-window timeline (populated when the simulator was built
+    #: with ``window_ms``; reconciled against the totals above at close).
+    windows: Optional[ServeWindows] = None
 
     @property
     def service_cycles(self) -> float:
@@ -244,6 +248,7 @@ class ServeSimulator:
         seed: int = 0,
         config: Optional[NPUConfig] = None,
         scheduler: Optional[MultiTaskScheduler] = None,
+        window_ms: Optional[float] = None,
     ):
         if mechanism not in MECHANISMS:
             raise ConfigError(
@@ -269,6 +274,10 @@ class ServeSimulator:
             pair_norm = self.oracle.pair_norm
         self.policy = Policy(policy, self._tenant_order, pair_norm=pair_norm)
         self._flow_ids: Dict[int, Optional[int]] = {}
+        if window_ms is not None and window_ms <= 0:
+            raise ConfigError(f"window_ms must be positive, got {window_ms}")
+        self.window_ms = float(window_ms) if window_ms else None
+        self.windows: Optional[ServeWindows] = None
         tel = telemetry.metrics.group("serving")
         self._m_arrivals = tel.counter("arrivals")
         self._m_completed = tel.counter("completed")
@@ -299,11 +308,30 @@ class ServeSimulator:
             seed=self.seed,
             freq_ghz=self.config.freq_ghz,
         )
-        if self.mechanism.startswith("flush-"):
-            self._run_temporal(requests, outcome)
-        else:
-            self._run_spatial(requests, outcome)
+        audit = telemetry.audit
+        if self.window_ms is not None:
+            self.windows = ServeWindows(
+                tenant_names=list(self._tenant_order),
+                window_ms=self.window_ms,
+                cycles_per_ms=self.config.freq_ghz * 1e6,
+                switch_cost=self.switch_cost,
+                world_cost=float(self.config.context_switch_cycles),
+            )
+            if audit.enabled:
+                audit.subscribe(self.windows.on_audit)
+        try:
+            if self.mechanism.startswith("flush-"):
+                self._run_temporal(requests, outcome)
+            else:
+                self._run_spatial(requests, outcome)
+        finally:
+            if self.windows is not None and audit.enabled:
+                audit.unsubscribe(self.windows.on_audit)
         outcome.completed.sort(key=lambda c: c.request.rid)
+        if self.windows is not None:
+            self.windows.close(outcome.makespan)
+            self.windows.reconcile(outcome)
+            outcome.windows = self.windows
         return outcome
 
     # ------------------------------------------------------------------
@@ -313,6 +341,8 @@ class ServeSimulator:
         """Enqueue an arrival: flow allocation + secure-admission ledger."""
         queues[req.tenant].append(req)
         self._m_arrivals.inc()
+        if self.windows is not None:
+            self.windows.on_arrival(req.arrival, req.tenant)
         flow = telemetry.flows.allocate()
         self._flow_ids[req.rid] = flow
         if req.world == "secure":
@@ -335,6 +365,11 @@ class ServeSimulator:
         latency = completion - req.arrival
         self._m_completed.inc()
         self._h_latency.observe(latency, cycle=completion)
+        if self.windows is not None:
+            self.windows.on_completion(
+                completion, req.tenant, latency,
+                latency <= req.sla_cycles,
+            )
         telemetry.flows.complete(
             flow,
             kind="serve",
@@ -396,12 +431,16 @@ class ServeSimulator:
             if prev_tenant is not None and req.tenant != prev_tenant:
                 # Protection-domain change: scrub + context switch, plus
                 # an extra context switch when the world flips too.
+                if self.windows is not None:
+                    self.windows.on_flush(t)
                 t += switch_cost
                 state.flush += switch_cost
                 outcome.flushes += 1
                 outcome.flush_cycles += switch_cost
                 self._m_flushes.inc()
                 if req.world != prev_world:
+                    if self.windows is not None:
+                        self.windows.on_world_switch(t)
                     t += world_cost
                     state.world += world_cost
                     outcome.world_switches += 1
@@ -467,6 +506,8 @@ class ServeSimulator:
                 setup = 0.0
                 if slot_world[i] is not None and slot_world[i] != req.world:
                     setup = world_cost
+                    if self.windows is not None:
+                        self.windows.on_world_switch(t)
                     outcome.world_switches += 1
                     outcome.world_cycles += world_cost
                     self._m_world.inc()

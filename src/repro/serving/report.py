@@ -2,11 +2,14 @@
 
 Percentiles use the nearest-rank method (the value at ceil(p/100 * n),
 1-indexed, of the sorted sample) — exact, deterministic, and never an
-interpolated value that no request actually experienced.  ``to_dict``
-contains only quantities derived from the seeded simulation (no
-wall-clock, no environment), and ``render("json")`` dumps it with sorted
-keys — so the same ``--seed`` produces bit-identical JSON on every run,
-which the CI smoke job and the determinism test both rely on.
+interpolated value that no request actually experienced.  A tenant with
+**zero completed requests** reports ``None`` percentiles and an
+explicit ``0/0`` SLA (``sla_attainment=None``) — never a fabricated
+0.0 ms latency or a vacuous 100% attainment.  ``to_dict`` contains only
+quantities derived from the seeded simulation (no wall-clock, no
+environment), and ``render("json")`` dumps it with sorted keys — so the
+same ``--seed`` produces bit-identical JSON on every run, which the CI
+smoke job and the determinism test both rely on.
 """
 
 from __future__ import annotations
@@ -17,12 +20,16 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.serving.queueing import CompletedRequest, ServeOutcome
+from repro.serving.workload import Scenario
 
 
-def nearest_rank(sorted_values: List[float], pct: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample."""
+def nearest_rank(sorted_values: List[float], pct: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    An empty sample has no percentile: returns None (a caller that wants
+    a sentinel picks its own — 0.0 here would masquerade as a latency)."""
     if not sorted_values:
-        return 0.0
+        return None
     rank = max(1, math.ceil(pct / 100.0 * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
@@ -35,13 +42,14 @@ class TenantReport:
     world: str
     sla_ms: Optional[float]
     n: int
-    mean_ms: float
-    p50_ms: float
-    p95_ms: float
-    p99_ms: float
-    max_ms: float
-    sla_attainment: float
-    mean_wait_ms: float
+    #: All None when the tenant completed nothing (0/0 SLA, no sample).
+    mean_ms: Optional[float]
+    p50_ms: Optional[float]
+    p95_ms: Optional[float]
+    p99_ms: Optional[float]
+    max_ms: Optional[float]
+    sla_attainment: Optional[float]
+    mean_wait_ms: Optional[float]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -67,20 +75,32 @@ def _tenant_stats(
 ) -> TenantReport:
     latencies = sorted(c.latency for c in completed)
     n = len(latencies)
-    mean = sum(latencies) / n if n else 0.0
-    mean_wait = sum(c.wait for c in completed) / n if n else 0.0
+    if n == 0:
+        # 0 completions: there is no latency distribution to summarise
+        # and 0-of-0 SLA attainment is undefined, not 100%.
+        return TenantReport(
+            tenant=name, world=world, sla_ms=sla_ms, n=0,
+            mean_ms=None, p50_ms=None, p95_ms=None, p99_ms=None,
+            max_ms=None, sla_attainment=None, mean_wait_ms=None,
+        )
+    mean = sum(latencies) / n
+    mean_wait = sum(c.wait for c in completed) / n
     ok = sum(1 for c in completed if c.sla_ok)
+    p50 = nearest_rank(latencies, 50.0)
+    p95 = nearest_rank(latencies, 95.0)
+    p99 = nearest_rank(latencies, 99.0)
+    assert p50 is not None and p95 is not None and p99 is not None
     return TenantReport(
         tenant=name,
         world=world,
         sla_ms=sla_ms,
         n=n,
         mean_ms=mean / cycles_per_ms,
-        p50_ms=nearest_rank(latencies, 50.0) / cycles_per_ms,
-        p95_ms=nearest_rank(latencies, 95.0) / cycles_per_ms,
-        p99_ms=nearest_rank(latencies, 99.0) / cycles_per_ms,
-        max_ms=(latencies[-1] / cycles_per_ms) if n else 0.0,
-        sla_attainment=(ok / n) if n else 1.0,
+        p50_ms=p50 / cycles_per_ms,
+        p95_ms=p95 / cycles_per_ms,
+        p99_ms=p99 / cycles_per_ms,
+        max_ms=latencies[-1] / cycles_per_ms,
+        sla_attainment=ok / n,
         mean_wait_ms=mean_wait / cycles_per_ms,
     )
 
@@ -97,11 +117,21 @@ class ServeReport:
     makespan_ms: float
 
     @classmethod
-    def build(cls, outcome: ServeOutcome) -> "ServeReport":
+    def build(
+        cls, outcome: ServeOutcome, scenario: Optional[Scenario] = None
+    ) -> "ServeReport":
         cycles_per_ms = outcome.freq_ghz * 1e6
         by_tenant: Dict[str, List[CompletedRequest]] = {}
         worlds: Dict[str, str] = {}
-        slas: Dict[str, float] = {}
+        slas: Dict[str, Optional[float]] = {}
+        if scenario is not None:
+            # Seed the tenant set from the scenario so a tenant that
+            # completed *nothing* still appears (n=0, null percentiles)
+            # instead of silently vanishing from the report.
+            for spec in scenario.tenants:
+                by_tenant[spec.name] = []
+                worlds[spec.name] = spec.world
+                slas[spec.name] = spec.sla_ms
         for comp in outcome.completed:
             by_tenant.setdefault(comp.request.tenant, []).append(comp)
             worlds[comp.request.tenant] = comp.request.world
@@ -155,6 +185,10 @@ class ServeReport:
             },
             "tenants": {t.tenant: t.to_dict() for t in self.tenants},
             "aggregate": self.aggregate.to_dict(),
+            **(
+                {"windows": out.windows.to_dict()}
+                if out.windows is not None else {}
+            ),
         }
 
     def render(self, fmt: str = "table") -> str:
@@ -171,18 +205,21 @@ class ServeReport:
         ]
         columns = ("tenant", "world", "sla_ms", "n", "p50_ms", "p95_ms",
                    "p99_ms", "sla%", "wait_ms")
+        def fmt(value: Optional[float], spec: str) -> str:
+            return "-" if value is None else format(value, spec)
+
         rows = []
         for report in self.tenants + [self.aggregate]:
             rows.append((
                 report.tenant,
                 report.world,
-                f"{report.sla_ms:.1f}" if report.sla_ms is not None else "-",
+                fmt(report.sla_ms, ".1f"),
                 str(report.n),
-                f"{report.p50_ms:.3f}",
-                f"{report.p95_ms:.3f}",
-                f"{report.p99_ms:.3f}",
-                f"{report.sla_attainment:.1%}",
-                f"{report.mean_wait_ms:.3f}",
+                fmt(report.p50_ms, ".3f"),
+                fmt(report.p95_ms, ".3f"),
+                fmt(report.p99_ms, ".3f"),
+                fmt(report.sla_attainment, ".1%"),
+                fmt(report.mean_wait_ms, ".3f"),
             ))
         widths = [
             max(len(columns[i]), max(len(row[i]) for row in rows))

@@ -187,6 +187,33 @@ SCENARIOS: Dict[str, Scenario] = {
         rps=220.0,
         duration_ms=400.0,
     ),
+    "nlp-mix": Scenario(
+        name="nlp-mix",
+        description=(
+            "An all-NLP population: a secure chat assistant over "
+            "normal-world embedding and ranking services; the live "
+            "observability scenario (repro watch / repro slo)"
+        ),
+        tenants=(
+            TenantSpec(
+                name="chat", world="secure",
+                models=(("gpt", 0.6), ("bert", 0.4)),
+                share=0.4, sla_ms=45.0, priority=0,
+            ),
+            TenantSpec(
+                name="embed", world="normal",
+                models=(("bert", 1.0),),
+                share=0.35, sla_ms=60.0, priority=1,
+            ),
+            TenantSpec(
+                name="rank", world="normal",
+                models=(("mobilenet", 1.0),),
+                share=0.25, sla_ms=30.0, priority=2,
+            ),
+        ),
+        rps=200.0,
+        duration_ms=400.0,
+    ),
     "burst": Scenario(
         name="burst",
         description=(

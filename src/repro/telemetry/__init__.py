@@ -50,7 +50,27 @@ from repro.telemetry.profiler import (
     merge_profile_snapshots,
     split_exact,
 )
+from repro.telemetry.sentinel import (
+    DetectionReport,
+    Flag,
+    SecuritySentinel,
+)
+from repro.telemetry.slo import (
+    AlertEvent,
+    Breach,
+    SLOObjective,
+    SLOReport,
+    SLOSpec,
+    evaluate as evaluate_slo,
+)
 from repro.telemetry.trace import TraceRecorder
+from repro.telemetry.windows import (
+    TumblingCounter,
+    WindowReservoir,
+    merge_bucket_maps,
+    sliding_sum,
+    window_of,
+)
 
 __all__ = [
     "Counter",
@@ -75,6 +95,20 @@ __all__ = [
     "merge_snapshots",
     "merge_profile_snapshots",
     "split_exact",
+    "TumblingCounter",
+    "WindowReservoir",
+    "window_of",
+    "sliding_sum",
+    "merge_bucket_maps",
+    "SLOSpec",
+    "SLOObjective",
+    "SLOReport",
+    "AlertEvent",
+    "Breach",
+    "evaluate_slo",
+    "SecuritySentinel",
+    "DetectionReport",
+    "Flag",
     "metrics",
     "tracer",
     "profiler",
@@ -172,7 +206,7 @@ def scoped(
     tracer._restore_state((bool(trace), [], {}, 0.0, 0, {}))
     profiler._restore_state((bool(profile), {}, {}, [], None))
     flows._restore_state((bool(flow), {}, {}, 0, 0))
-    audit._restore_state((bool(audit_log), False, [], 0, "", 0, 0.0))
+    audit._restore_state((bool(audit_log), False, [], 0, "", 0, 0.0, []))
     try:
         yield TelemetryScope(
             metrics=metrics, tracer=tracer, profiler=profiler,

@@ -38,7 +38,7 @@ traffic, unless a caller opts into ``verbose`` allow records).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 
 class AuditLedger:
@@ -59,6 +59,11 @@ class AuditLedger:
         self._records: List[Dict[str, Any]] = []
         self._next_seq = 0
         self._origin = ""
+        #: Streaming observers (e.g. the security sentinel) notified on
+        #: every *appended* record — never on ingest (those records were
+        #: already observed live in the worker that produced them) and
+        #: never when the ledger is disabled or dropping.
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -75,6 +80,22 @@ class AuditLedger:
         self.dropped = 0
         self.clock = 0.0
         self.verbose = False
+        self._subscribers.clear()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        """Register a streaming observer called with each appended record.
+
+        Callbacks run synchronously inside :meth:`record`, in
+        subscription order, and must not append to the ledger themselves
+        (a detector reacting to a decision is an *observer*, not a new
+        decision source)."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -107,19 +128,20 @@ class AuditLedger:
         if len(self._records) >= self.max_records:
             self.dropped += 1
             return
-        self._records.append(
-            {
-                "seq": self._next_seq,
-                "origin": self._origin,
-                "cycle": float(self.clock if cycle is None else cycle),
-                "kind": kind,
-                "decision": decision,
-                "world": world,
-                "flow": flow,
-                "detail": {k: _jsonable(v) for k, v in sorted(detail.items())},
-            }
-        )
+        entry = {
+            "seq": self._next_seq,
+            "origin": self._origin,
+            "cycle": float(self.clock if cycle is None else cycle),
+            "kind": kind,
+            "decision": decision,
+            "world": world,
+            "flow": flow,
+            "detail": {k: _jsonable(v) for k, v in sorted(detail.items())},
+        }
+        self._records.append(entry)
         self._next_seq += 1
+        for callback in self._subscribers:
+            callback(entry)
 
     # ------------------------------------------------------------------
     # Introspection / export
@@ -193,16 +215,18 @@ class AuditLedger:
     # -- scoped-state plumbing (used by ``telemetry.scoped``) ----------
     def _export_state(
         self,
-    ) -> Tuple[bool, bool, List[Dict[str, Any]], int, str, int, float]:
+    ) -> Tuple[bool, bool, List[Dict[str, Any]], int, str, int, float,
+               List[Callable[[Dict[str, Any]], None]]]:
         return (self.enabled, self.verbose, self._records, self._next_seq,
-                self._origin, self.dropped, self.clock)
+                self._origin, self.dropped, self.clock, self._subscribers)
 
     def _restore_state(
         self,
-        state: Tuple[bool, bool, List[Dict[str, Any]], int, str, int, float],
+        state: Tuple[bool, bool, List[Dict[str, Any]], int, str, int, float,
+                     List[Callable[[Dict[str, Any]], None]]],
     ) -> None:
         (self.enabled, self.verbose, self._records, self._next_seq,
-         self._origin, self.dropped, self.clock) = state
+         self._origin, self.dropped, self.clock, self._subscribers) = state
 
 
 def _jsonable(value: Any) -> Any:

@@ -85,10 +85,20 @@ class Histogram:
     The reservoir's RNG is seeded from the histogram *name*, so a given
     metric retains the same samples on every identical run — percentile
     estimates stay deterministic and reproducible across runs and hosts.
+
+    **Epochs.**  Streaming consumers (the sliding-window aggregators in
+    :mod:`repro.telemetry.windows`) must never let one window's
+    percentiles see another window's samples.  :meth:`begin_epoch` opens
+    a fresh reservoir for the new epoch — samples and the reservoir's
+    observation counter clear, the RNG reseeds deterministically from
+    ``(name, epoch)`` — while the cumulative aggregates (count / sum /
+    min / max) keep accumulating across the whole run.  Epoch 0 seeds
+    exactly like the historical name-only seed, so runs that never call
+    :meth:`begin_epoch` retain byte-identical samples.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "samples",
-                 "max_samples", "_rng")
+                 "max_samples", "epoch", "_epoch_count", "_rng")
 
     def __init__(self, name: str, max_samples: int = 1024):
         self.name = name
@@ -97,13 +107,33 @@ class Histogram:
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        #: Retained raw samples as ``(cycle, value)`` pairs.
+        #: Retained raw samples as ``(cycle, value)`` pairs (current epoch).
         self.samples: List[Tuple[float, float]] = []
-        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        #: Current reservoir epoch (0 = the whole-run default).
+        self.epoch = 0
+        #: Observations within the current epoch (drives Algorithm R).
+        self._epoch_count = 0
+        self._rng = random.Random(self._seed_for(0))
+
+    def _seed_for(self, epoch: int) -> int:
+        """Deterministic per-(name, epoch) seed; epoch 0 matches the
+        historical name-only seeding."""
+        if epoch == 0:
+            return zlib.crc32(self.name.encode("utf-8"))
+        return zlib.crc32(f"{self.name}@epoch{epoch}".encode("utf-8"))
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Start reservoir *epoch*: drop retained samples, reset the
+        reservoir counter and reseed.  Aggregates are untouched."""
+        self.epoch = int(epoch)
+        self._epoch_count = 0
+        self.samples.clear()
+        self._rng = random.Random(self._seed_for(self.epoch))
 
     def observe(self, value: Number, cycle: float = 0.0) -> None:
         value = float(value)
         self.count += 1
+        self._epoch_count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
@@ -112,8 +142,9 @@ class Histogram:
         if len(self.samples) < self.max_samples:
             self.samples.append((float(cycle), value))
         elif self.max_samples > 0:
-            # Algorithm R: replace a random resident with p = k/n.
-            slot = self._rng.randrange(self.count)
+            # Algorithm R: replace a random resident with p = k/n, where
+            # n counts observations of the *current epoch* only.
+            slot = self._rng.randrange(self._epoch_count)
             if slot < self.max_samples:
                 self.samples[slot] = (float(cycle), value)
 
@@ -155,8 +186,10 @@ class Histogram:
         self.min = None
         self.max = None
         self.samples.clear()
+        self.epoch = 0
+        self._epoch_count = 0
         # Reseed so a reset histogram replays identically.
-        self._rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
+        self._rng = random.Random(self._seed_for(0))
 
 
 # ----------------------------------------------------------------------

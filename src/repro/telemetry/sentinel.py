@@ -1,0 +1,232 @@
+"""Streaming security-anomaly detection over the audit ledger.
+
+The :class:`~repro.telemetry.audit.AuditLedger` is a *post-hoc* replay
+artifact; the :class:`SecuritySentinel` is its *online* counterpart — a
+detector subscribed to ledger appends
+(:meth:`~repro.telemetry.audit.AuditLedger.subscribe`) that raises flags
+while the run is still in flight and reports **detection latency in
+simulated cycles**: first probe (the earliest audit record the origin
+produced) to first flag.  The attack harness
+(:mod:`repro.security.attacks`) corroborates every sentinel flag against
+the final ledger, closing the loop the paper's threat model implies: a
+blocked attack is only *observably* blocked if the monitor could have
+paged someone before the run ended.
+
+Detectors (all single-pass, O(1) amortised per record):
+
+``first_deny``
+    Any ``decision == "deny"`` record — the baseline "the hardware said
+    no" signal.  Latency 0 when the probe itself is the denial.
+``deny_spike``
+    ≥ *spike_threshold* denies inside one trailing *window_cycles* span
+    — distinguishes one stray fault from an active probe loop.
+``world_switch_storm``
+    ≥ *storm_threshold* ``*.world_switch`` events inside one trailing
+    span — the paper's world-switch cost amplification vector.
+``cross_tenant_probe``
+    Denies naming ≥ *probe_tenants* distinct victims (``tenant`` /
+    ``stream`` / ``task`` detail keys) — one tenant fanning a scan
+    across its neighbours.
+
+Determinism: flags depend only on record cycles and contents, so a
+sentinel fed the same run produces a byte-identical flag timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import ConfigError
+
+#: Detail keys, in priority order, that identify the entity a denial hit.
+_VICTIM_KEYS = ("tenant", "stream", "task", "router", "controller")
+
+
+@dataclass(frozen=True)
+class Flag:
+    """One online detection: a rule firing at an exact cycle."""
+
+    rule: str
+    cycle: float
+    origin: str
+    kind: str  # audit-record kind that tripped the rule
+    evidence: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "cycle": self.cycle,
+            "origin": self.origin,
+            "kind": self.kind,
+            "evidence": dict(sorted(self.evidence.items())),
+        }
+
+
+@dataclass
+class DetectionReport:
+    """Per-origin summary: how fast did the sentinel notice?"""
+
+    origin: str
+    first_probe_cycle: Optional[float] = None
+    first_flag_cycle: Optional[float] = None
+    flags: List[Flag] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return self.first_flag_cycle is not None
+
+    @property
+    def latency_cycles(self) -> Optional[float]:
+        """first flag − first probe; None while undetected."""
+        if self.first_flag_cycle is None or self.first_probe_cycle is None:
+            return None
+        return self.first_flag_cycle - self.first_probe_cycle
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "origin": self.origin,
+            "detected": self.detected,
+            "first_probe_cycle": self.first_probe_cycle,
+            "first_flag_cycle": self.first_flag_cycle,
+            "latency_cycles": self.latency_cycles,
+            "flags": [f.to_dict() for f in self.flags],
+        }
+
+
+class SecuritySentinel:
+    """Online anomaly detector fed by audit-ledger appends."""
+
+    def __init__(
+        self,
+        window_cycles: float = 100_000.0,
+        spike_threshold: int = 3,
+        storm_threshold: int = 8,
+        probe_tenants: int = 2,
+    ):
+        if window_cycles <= 0:
+            raise ConfigError("sentinel: window_cycles must be positive")
+        if min(spike_threshold, storm_threshold, probe_tenants) < 1:
+            raise ConfigError("sentinel: thresholds must be >= 1")
+        self.window_cycles = float(window_cycles)
+        self.spike_threshold = int(spike_threshold)
+        self.storm_threshold = int(storm_threshold)
+        self.probe_tenants = int(probe_tenants)
+        self.flags: List[Flag] = []
+        self.records_seen = 0
+        self._reports: Dict[str, DetectionReport] = {}
+        #: Trailing deny/world-switch cycle stamps per origin (pruned to
+        #: the detection window as records arrive — appends are cycle-
+        #: monotone per origin in practice; stale entries only widen the
+        #: window, never lose a detection).
+        self._deny_trail: Dict[str, List[float]] = {}
+        self._switch_trail: Dict[str, List[float]] = {}
+        self._victims: Dict[str, Set[str]] = {}
+        self._ledger = None
+
+    # ------------------------------------------------------------------
+    def attach(self, ledger) -> "SecuritySentinel":
+        """Subscribe to *ledger*; returns self for chaining."""
+        ledger.subscribe(self.observe)
+        self._ledger = ledger
+        return self
+
+    def detach(self) -> None:
+        if self._ledger is not None:
+            self._ledger.unsubscribe(self.observe)
+            self._ledger = None
+
+    # ------------------------------------------------------------------
+    def _report(self, origin: str) -> DetectionReport:
+        report = self._reports.get(origin)
+        if report is None:
+            report = DetectionReport(origin=origin)
+            self._reports[origin] = report
+        return report
+
+    def _flag(self, rule: str, record: Dict[str, Any],
+              evidence: Dict[str, Any]) -> None:
+        flag = Flag(
+            rule=rule, cycle=float(record["cycle"]),
+            origin=str(record.get("origin", "")),
+            kind=str(record["kind"]), evidence=evidence,
+        )
+        self.flags.append(flag)
+        report = self._report(flag.origin)
+        report.flags.append(flag)
+        if report.first_flag_cycle is None:
+            report.first_flag_cycle = flag.cycle
+
+    @staticmethod
+    def _victim_of(record: Dict[str, Any]) -> Optional[str]:
+        detail = record.get("detail") or {}
+        for key in _VICTIM_KEYS:
+            value = detail.get(key)
+            if value is not None:
+                return f"{key}={value}"
+        return None
+
+    def _prune(self, trail: List[float], now: float) -> None:
+        cutoff = now - self.window_cycles
+        while trail and trail[0] < cutoff:
+            trail.pop(0)
+
+    # ------------------------------------------------------------------
+    def observe(self, record: Dict[str, Any]) -> None:
+        """Ledger-append callback: run every detector on one record."""
+        self.records_seen += 1
+        origin = str(record.get("origin", ""))
+        cycle = float(record["cycle"])
+        kind = str(record["kind"])
+        report = self._report(origin)
+        if report.first_probe_cycle is None:
+            report.first_probe_cycle = cycle
+
+        if record.get("decision") == "deny":
+            if not any(f.rule == "first_deny" and f.origin == origin
+                       for f in report.flags):
+                self._flag("first_deny", record, {"reason": str(
+                    (record.get("detail") or {}).get("reason", ""))})
+            trail = self._deny_trail.setdefault(origin, [])
+            trail.append(cycle)
+            self._prune(trail, cycle)
+            if len(trail) == self.spike_threshold:
+                self._flag("deny_spike", record, {
+                    "denies": len(trail),
+                    "window_cycles": self.window_cycles,
+                })
+            victim = self._victim_of(record)
+            if victim is not None:
+                victims = self._victims.setdefault(origin, set())
+                before = len(victims)
+                victims.add(victim)
+                if (before < self.probe_tenants
+                        and len(victims) == self.probe_tenants):
+                    self._flag("cross_tenant_probe", record, {
+                        "victims": sorted(victims),
+                    })
+
+        if kind.endswith("world_switch"):
+            trail = self._switch_trail.setdefault(origin, [])
+            trail.append(cycle)
+            self._prune(trail, cycle)
+            if len(trail) == self.storm_threshold:
+                self._flag("world_switch_storm", record, {
+                    "switches": len(trail),
+                    "window_cycles": self.window_cycles,
+                })
+
+    # ------------------------------------------------------------------
+    def report(self, origin: str) -> DetectionReport:
+        """The (possibly empty) detection report for one origin."""
+        return self._reports.get(origin, DetectionReport(origin=origin))
+
+    def reports(self) -> List[DetectionReport]:
+        return [self._reports[o] for o in sorted(self._reports)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "records_seen": self.records_seen,
+            "flags": [f.to_dict() for f in self.flags],
+            "origins": [r.to_dict() for r in self.reports()],
+        }

@@ -1,0 +1,400 @@
+"""Declarative SLO specs with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` names, per tenant, the objectives an operator would
+page on — a p99 latency ceiling, an SLA-attainment floor and a
+deny-rate ceiling — plus the window geometry the alerts evaluate over.
+:func:`evaluate` walks a serving window timeline (the per-window
+records produced by :class:`repro.serving.live.ServeWindows`) in cycle
+order and applies the classic **multi-window burn-rate** recipe:
+
+* the *error budget* of an attainment objective is ``1 - sla_target``;
+* the *burn rate* over a span of windows is
+  ``(violations / requests) / budget`` — 1.0 means the budget is being
+  spent exactly as provisioned, N means N× too fast;
+* an alert **fires** when both the fast span (reactive, noisy) and the
+  slow span (smoothing, de-flapping) burn above ``burn_threshold``, and
+  **resolves** once the fast span drops back under it.
+
+Transitions are recorded at the exact simulated cycle of the window
+boundary that triggered them, so an alert timeline is as deterministic
+as the run.  All rates are computed in :class:`fractions.Fraction`;
+floats appear only at render time.
+
+Spec files are plain JSON (see ``specs/nlp-mix.slo.json``)::
+
+    {
+      "name": "nlp-mix production SLOs",
+      "scenario": "nlp-mix",
+      "window_ms": 25.0,
+      "fast_windows": 2,
+      "slow_windows": 8,
+      "burn_threshold": 2.0,
+      "objectives": [
+        {"tenant": "chat", "p99_ms": 120.0, "sla_target": 0.5,
+         "deny_rate_max": 0.0}
+      ]
+    }
+
+``repro slo <scenario> --spec <file>`` evaluates a spec against a live
+run and exits non-zero on any breach — the CI gate shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Alert states recorded in the transition timeline.
+FIRING = "firing"
+RESOLVED = "resolved"
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One tenant's objectives (any subset may be set)."""
+
+    tenant: str
+    #: Per-window p99 latency ceiling (ms); breached windows are listed.
+    p99_ms: Optional[float] = None
+    #: SLA-attainment floor in (0, 1); drives the burn-rate alert.
+    sla_target: Optional[float] = None
+    #: Ceiling on denies / (denies + completions) per window.
+    deny_rate_max: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigError("objective: tenant must be non-empty")
+        if self.p99_ms is not None and self.p99_ms <= 0:
+            raise ConfigError(
+                f"objective {self.tenant}: p99_ms must be positive"
+            )
+        if self.sla_target is not None and not 0.0 < self.sla_target < 1.0:
+            raise ConfigError(
+                f"objective {self.tenant}: sla_target must be in (0, 1) "
+                f"(a target of 1.0 has no error budget to burn)"
+            )
+        if self.deny_rate_max is not None and self.deny_rate_max < 0:
+            raise ConfigError(
+                f"objective {self.tenant}: deny_rate_max must be >= 0"
+            )
+        if (self.p99_ms is None and self.sla_target is None
+                and self.deny_rate_max is None):
+            raise ConfigError(
+                f"objective {self.tenant}: set at least one of p99_ms, "
+                f"sla_target, deny_rate_max"
+            )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named set of objectives plus the window geometry they use."""
+
+    name: str
+    scenario: str
+    window_ms: float
+    objectives: Tuple[SLOObjective, ...]
+    fast_windows: int = 2
+    slow_windows: int = 8
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ConfigError("spec: window_ms must be positive")
+        if self.fast_windows <= 0 or self.slow_windows <= 0:
+            raise ConfigError("spec: window spans must be positive")
+        if self.fast_windows > self.slow_windows:
+            raise ConfigError(
+                "spec: fast_windows must not exceed slow_windows"
+            )
+        if self.burn_threshold <= 0:
+            raise ConfigError("spec: burn_threshold must be positive")
+        if not self.objectives:
+            raise ConfigError("spec: at least one objective required")
+        tenants = [o.tenant for o in self.objectives]
+        if len(set(tenants)) != len(tenants):
+            raise ConfigError("spec: duplicate objective tenants")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SLOSpec":
+        if not isinstance(payload, dict):
+            raise ConfigError("SLO spec must be a JSON object")
+        try:
+            objectives = tuple(
+                SLOObjective(
+                    tenant=str(obj["tenant"]),
+                    p99_ms=obj.get("p99_ms"),
+                    sla_target=obj.get("sla_target"),
+                    deny_rate_max=obj.get("deny_rate_max"),
+                )
+                for obj in payload.get("objectives", [])
+            )
+            return cls(
+                name=str(payload.get("name", "unnamed")),
+                scenario=str(payload.get("scenario", "")),
+                window_ms=float(payload["window_ms"]),
+                fast_windows=int(payload.get("fast_windows", 2)),
+                slow_windows=int(payload.get("slow_windows", 8)),
+                burn_threshold=float(payload.get("burn_threshold", 2.0)),
+                objectives=objectives,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed SLO spec: {exc}") from None
+
+    @classmethod
+    def load(cls, path: str) -> "SLOSpec":
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read SLO spec {path!r}: {exc}") from None
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One firing/resolved transition, stamped at the exact cycle."""
+
+    tenant: str
+    state: str  # FIRING | RESOLVED
+    window: int
+    cycle: float  # end cycle of the window that triggered the transition
+    fast_burn: float
+    slow_burn: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "state": self.state,
+            "window": self.window,
+            "cycle": self.cycle,
+            "fast_burn": round(self.fast_burn, 6),
+            "slow_burn": round(self.slow_burn, 6),
+        }
+
+
+@dataclass(frozen=True)
+class Breach:
+    """One window where a static ceiling was exceeded."""
+
+    tenant: str
+    kind: str  # "p99" | "deny_rate"
+    window: int
+    cycle: float
+    observed: float
+    limit: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "window": self.window,
+            "cycle": self.cycle,
+            "observed": round(self.observed, 6),
+            "limit": self.limit,
+        }
+
+
+class BurnRateTracker:
+    """Streaming fast/slow burn-rate state of one attainment objective."""
+
+    def __init__(self, objective: SLOObjective, spec: SLOSpec):
+        assert objective.sla_target is not None
+        self.objective = objective
+        self.spec = spec
+        self.budget = Fraction(1) - Fraction(objective.sla_target)
+        #: Trailing per-window (violations, requests) pairs, newest last.
+        self._trail: List[Tuple[int, int]] = []
+        self.firing = False
+        self.events: List[AlertEvent] = []
+
+    def _burn(self, span: int) -> Fraction:
+        bad = sum(b for b, _n in self._trail[-span:])
+        n = sum(n for _b, n in self._trail[-span:])
+        if n == 0:
+            return Fraction(0)
+        return (Fraction(bad) / Fraction(n)) / self.budget
+
+    def push(self, window: int, end_cycle: float,
+             violations: int, requests: int) -> Optional[AlertEvent]:
+        """Feed one window's (violations, requests); returns a transition
+        event when the alert fires or resolves at this boundary."""
+        self._trail.append((int(violations), int(requests)))
+        if len(self._trail) > self.spec.slow_windows:
+            del self._trail[0]
+        fast = self._burn(self.spec.fast_windows)
+        slow = self._burn(self.spec.slow_windows)
+        threshold = Fraction(self.spec.burn_threshold)
+        event = None
+        if not self.firing and fast > threshold and slow > threshold:
+            self.firing = True
+            event = AlertEvent(
+                tenant=self.objective.tenant, state=FIRING, window=window,
+                cycle=end_cycle, fast_burn=float(fast), slow_burn=float(slow),
+            )
+        elif self.firing and fast <= threshold:
+            self.firing = False
+            event = AlertEvent(
+                tenant=self.objective.tenant, state=RESOLVED, window=window,
+                cycle=end_cycle, fast_burn=float(fast), slow_burn=float(slow),
+            )
+        if event is not None:
+            self.events.append(event)
+        return event
+
+
+@dataclass
+class SLOReport:
+    """The full verdict of one spec against one window timeline."""
+
+    spec: SLOSpec
+    alerts: List[AlertEvent] = field(default_factory=list)
+    breaches: List[Breach] = field(default_factory=list)
+    #: Tenants named by an objective that the timeline never saw.
+    unknown_tenants: List[str] = field(default_factory=list)
+    windows_evaluated: int = 0
+
+    @property
+    def fired(self) -> List[AlertEvent]:
+        return [e for e in self.alerts if e.state == FIRING]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fired, nothing breached and every objective
+        tenant actually appeared in the timeline."""
+        return not self.fired and not self.breaches and not self.unknown_tenants
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.name,
+            "scenario": self.spec.scenario,
+            "window_ms": self.spec.window_ms,
+            "windows_evaluated": self.windows_evaluated,
+            "ok": self.ok,
+            "alerts": [e.to_dict() for e in self.alerts],
+            "breaches": [b.to_dict() for b in self.breaches],
+            "unknown_tenants": list(self.unknown_tenants),
+        }
+
+    def render(self, fmt: str = "table") -> str:
+        if fmt == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        lines = [
+            f"== slo: {self.spec.name} (scenario={self.spec.scenario or '-'} "
+            f"window={self.spec.window_ms:g}ms fast={self.spec.fast_windows} "
+            f"slow={self.spec.slow_windows} "
+            f"burn>{self.spec.burn_threshold:g}) =="
+        ]
+        if not self.alerts and not self.breaches:
+            lines.append(
+                f"no alerts, no breaches over {self.windows_evaluated} windows"
+            )
+        for event in self.alerts:
+            lines.append(
+                f"  [{event.state.upper():8s}] tenant={event.tenant} "
+                f"window={event.window} cycle={event.cycle:,.0f} "
+                f"fast={event.fast_burn:.2f}x slow={event.slow_burn:.2f}x"
+            )
+        for breach in self.breaches:
+            lines.append(
+                f"  [BREACH  ] tenant={breach.tenant} {breach.kind} "
+                f"window={breach.window} observed={breach.observed:.3f} "
+                f"limit={breach.limit:g}"
+            )
+        for tenant in self.unknown_tenants:
+            lines.append(
+                f"  [UNKNOWN ] objective tenant {tenant!r} never appeared "
+                f"in the timeline"
+            )
+        verdict = "OK" if self.ok else (
+            f"BREACHED: {len(self.fired)} alert(s) fired, "
+            f"{len(self.breaches)} window breach(es)"
+            + (f", {len(self.unknown_tenants)} unknown tenant(s)"
+               if self.unknown_tenants else "")
+        )
+        lines.append(verdict)
+        return "\n".join(lines) + "\n"
+
+
+def evaluate(spec: SLOSpec, timeline: List[Dict[str, Any]]) -> SLOReport:
+    """Apply *spec* to a serving window *timeline* in cycle order.
+
+    The timeline is the list of per-window records produced by
+    :meth:`repro.serving.live.ServeWindows.timeline` (each record
+    carries ``window``, ``end_cycle`` and a ``tenants`` map with
+    per-tenant ``completions``, ``sla_ok``, ``p99_ms`` and ``denies``).
+    """
+    report = SLOReport(spec=spec)
+    trackers = {
+        obj.tenant: BurnRateTracker(obj, spec)
+        for obj in spec.objectives
+        if obj.sla_target is not None
+    }
+    seen: set = set()
+    for record in timeline:
+        report.windows_evaluated += 1
+        window = int(record["window"])
+        end_cycle = float(record["end_cycle"])
+        tenants = record.get("tenants", {})
+        seen.update(tenants)
+        for objective in spec.objectives:
+            stats = tenants.get(objective.tenant)
+            if stats is None:
+                continue
+            completions = int(stats.get("completions", 0))
+            denies = int(stats.get("denies", 0))
+            if objective.p99_ms is not None:
+                p99 = stats.get("p99_ms")
+                if p99 is not None and p99 > objective.p99_ms:
+                    report.breaches.append(Breach(
+                        tenant=objective.tenant, kind="p99", window=window,
+                        cycle=end_cycle, observed=float(p99),
+                        limit=objective.p99_ms,
+                    ))
+            if objective.deny_rate_max is not None:
+                judged = completions + denies
+                if judged:
+                    rate = Fraction(denies) / Fraction(judged)
+                    if rate > Fraction(objective.deny_rate_max):
+                        report.breaches.append(Breach(
+                            tenant=objective.tenant, kind="deny_rate",
+                            window=window, cycle=end_cycle,
+                            observed=float(rate),
+                            limit=objective.deny_rate_max,
+                        ))
+            tracker = trackers.get(objective.tenant)
+            if tracker is not None:
+                violations = completions - int(stats.get("sla_ok", 0))
+                event = tracker.push(
+                    window, end_cycle, violations, completions
+                )
+                if event is not None:
+                    report.alerts.append(event)
+    report.unknown_tenants = sorted(
+        {obj.tenant for obj in spec.objectives} - seen
+    )
+    return report
+
+
+def default_spec(scenario_name: str, tenants: Dict[str, float],
+                 window_ms: float = 25.0) -> SLOSpec:
+    """A permissive built-in spec: p99 ceiling at 4x each tenant's SLA
+    budget and a 50% attainment floor — the registry experiment's
+    fixed reference, loose enough that the committed golden stays
+    alert-free under the default seed."""
+    return SLOSpec(
+        name=f"{scenario_name} built-in",
+        scenario=scenario_name,
+        window_ms=window_ms,
+        objectives=tuple(
+            SLOObjective(
+                tenant=name, p99_ms=4.0 * sla_ms, sla_target=0.5,
+                deny_rate_max=0.0,
+            )
+            for name, sla_ms in sorted(tenants.items())
+        ),
+    )

@@ -1,0 +1,175 @@
+"""Unit tests for the streaming security sentinel (:mod:`repro.telemetry.sentinel`)."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigError
+from repro.telemetry.sentinel import SecuritySentinel
+
+
+def _record(cycle=0.0, origin="atk", kind="guarder.deny", decision="deny",
+            **detail):
+    return {
+        "cycle": cycle, "origin": origin, "kind": kind,
+        "decision": decision, "detail": detail or None,
+    }
+
+
+def _allow(cycle=0.0, origin="atk", kind="monitor.world_switch"):
+    return {
+        "cycle": cycle, "origin": origin, "kind": kind,
+        "decision": "allow", "detail": None,
+    }
+
+
+class TestConfig:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigError):
+            SecuritySentinel(window_cycles=0.0)
+        with pytest.raises(ConfigError):
+            SecuritySentinel(spike_threshold=0)
+
+
+class TestDetectors:
+    def test_first_deny_flags_once(self):
+        s = SecuritySentinel()
+        s.observe(_record(cycle=5.0, reason="oob"))
+        s.observe(_record(cycle=6.0, reason="oob"))
+        first = [f for f in s.flags if f.rule == "first_deny"]
+        assert len(first) == 1
+        assert first[0].cycle == 5.0
+        assert first[0].evidence == {"reason": "oob"}
+
+    def test_allow_records_never_flag(self):
+        s = SecuritySentinel()
+        s.observe(_allow(kind="monitor.measure"))
+        assert s.flags == []
+        assert s.records_seen == 1
+
+    def test_deny_spike_at_exact_threshold(self):
+        s = SecuritySentinel(window_cycles=100.0, spike_threshold=3)
+        s.observe(_record(cycle=0.0))
+        s.observe(_record(cycle=10.0))
+        assert not any(f.rule == "deny_spike" for f in s.flags)
+        s.observe(_record(cycle=20.0))
+        spikes = [f for f in s.flags if f.rule == "deny_spike"]
+        assert len(spikes) == 1 and spikes[0].cycle == 20.0
+
+    def test_deny_spike_window_prunes_old_denies(self):
+        s = SecuritySentinel(window_cycles=100.0, spike_threshold=3)
+        s.observe(_record(cycle=0.0))
+        s.observe(_record(cycle=10.0))
+        s.observe(_record(cycle=500.0))  # first two fell out of the window
+        assert not any(f.rule == "deny_spike" for f in s.flags)
+
+    def test_cross_tenant_probe_counts_distinct_victims(self):
+        s = SecuritySentinel(probe_tenants=2)
+        s.observe(_record(cycle=0.0, tenant="alice"))
+        s.observe(_record(cycle=1.0, tenant="alice"))  # same victim
+        assert not any(f.rule == "cross_tenant_probe" for f in s.flags)
+        s.observe(_record(cycle=2.0, tenant="bob"))
+        probes = [f for f in s.flags if f.rule == "cross_tenant_probe"]
+        assert len(probes) == 1
+        assert probes[0].evidence["victims"] == [
+            "tenant=alice", "tenant=bob"]
+
+    def test_victim_key_priority_spans_detail_keys(self):
+        s = SecuritySentinel(probe_tenants=2)
+        s.observe(_record(cycle=0.0, stream="s1"))
+        s.observe(_record(cycle=1.0, task="t9"))
+        assert any(f.rule == "cross_tenant_probe" for f in s.flags)
+
+    def test_world_switch_storm(self):
+        s = SecuritySentinel(window_cycles=1000.0, storm_threshold=3)
+        for i in range(3):
+            s.observe(_allow(cycle=float(i), kind="monitor.world_switch"))
+        storms = [f for f in s.flags if f.rule == "world_switch_storm"]
+        assert len(storms) == 1 and storms[0].cycle == 2.0
+
+    def test_storms_are_per_origin(self):
+        s = SecuritySentinel(storm_threshold=2)
+        s.observe(_allow(cycle=0.0, origin="a", kind="x.world_switch"))
+        s.observe(_allow(cycle=1.0, origin="b", kind="x.world_switch"))
+        assert not any(f.rule == "world_switch_storm" for f in s.flags)
+
+
+class TestDetectionReport:
+    def test_latency_is_first_flag_minus_first_probe(self):
+        s = SecuritySentinel()
+        s.observe(_allow(cycle=10.0))  # probe: benign record first
+        s.observe(_record(cycle=25.0))
+        report = s.report("atk")
+        assert report.detected
+        assert report.first_probe_cycle == 10.0
+        assert report.first_flag_cycle == 25.0
+        assert report.latency_cycles == 15.0
+
+    def test_undetected_origin_has_none_latency(self):
+        s = SecuritySentinel()
+        s.observe(_allow(cycle=10.0))
+        report = s.report("atk")
+        assert not report.detected
+        assert report.latency_cycles is None
+        assert report.to_dict()["detected"] is False
+
+    def test_unseen_origin_is_empty_report(self):
+        s = SecuritySentinel()
+        report = s.report("never")
+        assert report.first_probe_cycle is None
+        assert not report.detected
+
+    def test_reports_sorted_by_origin(self):
+        s = SecuritySentinel()
+        s.observe(_record(origin="b"))
+        s.observe(_record(origin="a"))
+        assert [r.origin for r in s.reports()] == ["a", "b"]
+
+
+class TestLedgerIntegration:
+    def test_flags_on_record_not_on_ingest(self):
+        with telemetry.scoped(audit_log=True) as scope:
+            s = SecuritySentinel().attach(scope.audit)
+            scope.audit.set_origin("atk")
+            scope.audit.record("guarder.deny", decision="deny",
+                               detail={"reason": "oob"})
+            assert s.records_seen == 1
+            assert any(f.rule == "first_deny" for f in s.flags)
+            # Replayed (ingested) records must not re-trigger detectors.
+            scope.audit.ingest([_record(cycle=99.0)])
+            assert s.records_seen == 1
+            s.detach()
+
+    def test_detach_stops_observation(self):
+        with telemetry.scoped(audit_log=True) as scope:
+            s = SecuritySentinel().attach(scope.audit)
+            s.detach()
+            scope.audit.record("guarder.deny", decision="deny")
+            assert s.records_seen == 0
+
+    def test_subscribe_deduplicates(self):
+        with telemetry.scoped(audit_log=True) as scope:
+            s = SecuritySentinel()
+            scope.audit.subscribe(s.observe)
+            scope.audit.subscribe(s.observe)
+            scope.audit.record("guarder.deny", decision="deny")
+            assert s.records_seen == 1
+            scope.audit.unsubscribe(s.observe)
+
+    def test_disabled_ledger_never_notifies(self):
+        s = SecuritySentinel()
+        telemetry.audit.subscribe(s.observe)
+        try:
+            # Module-level ledger is disabled outside scoped(); record()
+            # drops the event before any subscriber runs.
+            telemetry.audit.record("guarder.deny", decision="deny")
+            assert s.records_seen == 0
+        finally:
+            telemetry.audit.unsubscribe(s.observe)
+
+    def test_to_dict_shape(self):
+        s = SecuritySentinel()
+        s.observe(_record(cycle=1.0))
+        payload = s.to_dict()
+        assert payload["records_seen"] == 1
+        assert payload["flags"][0]["rule"] == "first_deny"
+        assert payload["origins"][0]["origin"] == "atk"

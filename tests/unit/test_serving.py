@@ -291,3 +291,63 @@ class TestReport:
         table = ServeReport.build(sim.run()).render("table")
         for name in ("cam", "nlp", "batch"):
             assert name in table
+
+
+class TestZeroCompletionTenants:
+    """A tenant that completed nothing must surface explicitly (n=0,
+    null percentiles, undefined SLA) — not vanish or claim 100%."""
+
+    def test_nearest_rank_empty_is_none(self):
+        assert nearest_rank([], 99.0) is None
+
+    def test_zero_completion_tenant_reports_all_none(self, shared_scheduler):
+        scenario = SCENARIOS["default"]
+        sim = ServeSimulator(
+            scenario, mechanism="snpu", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        outcome = sim.run()
+        # Simulate one tenant completing nothing in the observed run.
+        outcome.completed = [
+            c for c in outcome.completed if c.request.tenant != "batch"
+        ]
+        report = ServeReport.build(outcome, scenario=scenario)
+        batch = next(t for t in report.tenants if t.tenant == "batch")
+        assert batch.n == 0
+        assert batch.p50_ms is None and batch.p99_ms is None
+        assert batch.mean_ms is None and batch.max_ms is None
+        assert batch.sla_attainment is None  # 0/0, not 1.0
+        assert batch.mean_wait_ms is None
+        # Scenario metadata still propagates.
+        assert batch.world == "normal" or batch.world == "secure"
+        assert batch.sla_ms is not None
+
+    def test_zero_completion_tenant_renders_dashes(self, shared_scheduler):
+        scenario = SCENARIOS["default"]
+        sim = ServeSimulator(
+            scenario, mechanism="snpu", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        outcome = sim.run()
+        outcome.completed = [
+            c for c in outcome.completed if c.request.tenant != "batch"
+        ]
+        report = ServeReport.build(outcome, scenario=scenario)
+        table = report.render("table")
+        batch_row = next(
+            line for line in table.splitlines()
+            if line.strip().startswith("batch")
+        )
+        assert "-" in batch_row
+        payload = json.loads(report.render("json"))
+        assert payload["tenants"]["batch"]["p99_ms"] is None
+        assert payload["tenants"]["batch"]["sla_attainment"] is None
+
+    def test_build_without_scenario_keeps_legacy_shape(self, shared_scheduler):
+        sim = ServeSimulator(
+            SCENARIOS["default"], mechanism="snpu", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        report = ServeReport.build(sim.run())
+        # Only tenants that actually completed appear without a scenario.
+        assert all(t.n > 0 for t in report.tenants)

@@ -1,0 +1,226 @@
+"""Unit tests for SLO specs and burn-rate alerting (:mod:`repro.telemetry.slo`)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.slo import (
+    FIRING,
+    RESOLVED,
+    BurnRateTracker,
+    SLOObjective,
+    SLOSpec,
+    default_spec,
+    evaluate,
+)
+
+
+def _spec(**over):
+    kw = dict(
+        name="test", scenario="s", window_ms=10.0,
+        objectives=(SLOObjective(tenant="t", sla_target=0.5),),
+        fast_windows=2, slow_windows=4, burn_threshold=2.0,
+    )
+    kw.update(over)
+    return SLOSpec(**kw)
+
+
+def _window(window, tenants, window_ms=10.0, cycles_per_ms=1000.0):
+    return {
+        "window": window,
+        "start_cycle": window * window_ms * cycles_per_ms,
+        "end_cycle": (window + 1) * window_ms * cycles_per_ms,
+        "tenants": tenants,
+    }
+
+
+def _stats(completions=0, sla_ok=0, denies=0, p99_ms=None):
+    return {
+        "completions": completions, "sla_ok": sla_ok,
+        "denies": denies, "p99_ms": p99_ms,
+    }
+
+
+class TestObjectiveValidation:
+    def test_requires_tenant(self):
+        with pytest.raises(ConfigError):
+            SLOObjective(tenant="", p99_ms=1.0)
+
+    def test_requires_at_least_one_objective(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            SLOObjective(tenant="t")
+
+    def test_sla_target_open_interval(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ConfigError):
+                SLOObjective(tenant="t", sla_target=bad)
+        SLOObjective(tenant="t", sla_target=0.999)
+
+    def test_p99_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SLOObjective(tenant="t", p99_ms=0.0)
+
+    def test_deny_rate_max_zero_is_valid(self):
+        obj = SLOObjective(tenant="t", deny_rate_max=0.0)
+        assert obj.deny_rate_max == 0.0
+
+
+class TestSpecValidation:
+    def test_fast_must_not_exceed_slow(self):
+        with pytest.raises(ConfigError, match="fast_windows"):
+            _spec(fast_windows=5, slow_windows=4)
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            _spec(objectives=(
+                SLOObjective(tenant="t", sla_target=0.5),
+                SLOObjective(tenant="t", p99_ms=1.0),
+            ))
+
+    def test_requires_objectives(self):
+        with pytest.raises(ConfigError, match="objective"):
+            _spec(objectives=())
+
+    def test_window_ms_positive(self):
+        with pytest.raises(ConfigError):
+            _spec(window_ms=0.0)
+
+
+class TestSpecLoad:
+    def test_round_trips_from_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "n", "scenario": "s", "window_ms": 25.0,
+            "fast_windows": 3, "slow_windows": 6, "burn_threshold": 1.5,
+            "objectives": [{"tenant": "a", "p99_ms": 9.0,
+                            "sla_target": 0.9, "deny_rate_max": 0.0}],
+        }))
+        spec = SLOSpec.load(str(path))
+        assert spec.window_ms == 25.0
+        assert spec.fast_windows == 3
+        assert spec.objectives[0].tenant == "a"
+        assert spec.objectives[0].sla_target == 0.9
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            SLOSpec.load(str(tmp_path / "nope.json"))
+
+    def test_malformed_json_is_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="cannot read"):
+            SLOSpec.load(str(path))
+
+    def test_missing_window_ms_is_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "n", "objectives": []}))
+        with pytest.raises(ConfigError, match="malformed"):
+            SLOSpec.load(str(path))
+
+
+class TestBurnRateTracker:
+    def test_fires_only_when_both_spans_burn(self):
+        spec = _spec()  # budget 0.5, threshold 2.0 => >100% violations
+        tracker = BurnRateTracker(spec.objectives[0], spec)
+        # One hot window: fast (span 2) burns 2x, slow (span 4) only 0.5x.
+        # violations/requests = 10/10 → burn = 1.0/0.5 = 2.0, not > 2.0.
+        assert tracker.push(0, 100.0, 10, 10) is None
+        assert not tracker.firing
+
+    def test_fire_and_resolve_at_exact_cycles(self):
+        spec = _spec(fast_windows=1, slow_windows=2, burn_threshold=1.0)
+        tracker = BurnRateTracker(spec.objectives[0], spec)
+        # budget = 0.5; all-violation windows burn at 2.0 > 1.0.
+        assert tracker.push(0, 100.0, 10, 10) is not None
+        assert tracker.firing
+        event = tracker.events[0]
+        assert event.state == FIRING
+        assert event.window == 0
+        assert event.cycle == 100.0
+        # Still burning: no duplicate event.
+        assert tracker.push(1, 200.0, 10, 10) is None
+        # Clean window: fast span (1 window) drops to 0 → resolve.
+        resolved = tracker.push(2, 300.0, 0, 10)
+        assert resolved is not None and resolved.state == RESOLVED
+        assert resolved.cycle == 300.0
+        assert not tracker.firing
+
+    def test_empty_windows_burn_zero(self):
+        spec = _spec(fast_windows=1, slow_windows=1, burn_threshold=1.0)
+        tracker = BurnRateTracker(spec.objectives[0], spec)
+        assert tracker.push(0, 100.0, 0, 0) is None
+
+    def test_trail_is_capped_at_slow_windows(self):
+        spec = _spec(fast_windows=1, slow_windows=3, burn_threshold=1e9)
+        tracker = BurnRateTracker(spec.objectives[0], spec)
+        for w in range(10):
+            tracker.push(w, float(w), 1, 2)
+        assert len(tracker._trail) == 3
+
+
+class TestEvaluate:
+    def test_p99_breach_is_recorded(self):
+        spec = _spec(objectives=(SLOObjective(tenant="t", p99_ms=5.0),))
+        timeline = [
+            _window(0, {"t": _stats(completions=3, sla_ok=3, p99_ms=4.0)}),
+            _window(1, {"t": _stats(completions=3, sla_ok=3, p99_ms=9.0)}),
+        ]
+        report = evaluate(spec, timeline)
+        assert len(report.breaches) == 1
+        breach = report.breaches[0]
+        assert breach.kind == "p99" and breach.window == 1
+        assert breach.observed == 9.0 and breach.limit == 5.0
+        assert not report.ok
+
+    def test_null_p99_never_breaches(self):
+        spec = _spec(objectives=(SLOObjective(tenant="t", p99_ms=5.0),))
+        report = evaluate(spec, [_window(0, {"t": _stats()})])
+        assert report.breaches == [] and report.ok
+
+    def test_deny_rate_breach(self):
+        spec = _spec(objectives=(
+            SLOObjective(tenant="t", deny_rate_max=0.0),))
+        timeline = [_window(0, {"t": _stats(completions=3, denies=1)})]
+        report = evaluate(spec, timeline)
+        assert len(report.breaches) == 1
+        assert report.breaches[0].kind == "deny_rate"
+        assert report.breaches[0].observed == 0.25
+
+    def test_unknown_tenant_fails_ok(self):
+        spec = _spec(objectives=(SLOObjective(tenant="ghost", p99_ms=5.0),))
+        report = evaluate(spec, [_window(0, {"t": _stats()})])
+        assert report.unknown_tenants == ["ghost"]
+        assert not report.ok
+
+    def test_alert_timeline_via_evaluate(self):
+        spec = _spec(fast_windows=1, slow_windows=2, burn_threshold=1.0)
+        timeline = [
+            _window(0, {"t": _stats(completions=10, sla_ok=0)}),
+            _window(1, {"t": _stats(completions=10, sla_ok=10)}),
+        ]
+        report = evaluate(spec, timeline)
+        states = [e.state for e in report.alerts]
+        assert states == [FIRING, RESOLVED]
+        assert report.fired and not report.ok
+        assert report.windows_evaluated == 2
+
+    def test_render_formats(self):
+        spec = _spec()
+        report = evaluate(spec, [_window(0, {"t": _stats(
+            completions=4, sla_ok=4)})])
+        table = report.render("table")
+        assert "no alerts, no breaches" in table and "OK" in table
+        payload = json.loads(report.render("json"))
+        assert payload["ok"] is True
+        assert payload["windows_evaluated"] == 1
+
+
+class TestDefaultSpec:
+    def test_shape(self):
+        spec = default_spec("s", {"a": 10.0, "b": 20.0}, window_ms=50.0)
+        assert spec.scenario == "s"
+        assert [o.tenant for o in spec.objectives] == ["a", "b"]
+        assert spec.objectives[0].p99_ms == 40.0
+        assert spec.objectives[0].sla_target == 0.5
+        assert spec.objectives[0].deny_rate_max == 0.0

@@ -113,6 +113,48 @@ class TestHistogram:
             h.observe(float(v))
         assert h.samples == first
 
+    def test_begin_epoch_drops_samples_keeps_aggregates(self):
+        h = Histogram("x", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        h.begin_epoch(1)
+        assert h.samples == []
+        assert h.count == 100 and h.total == sum(range(100))
+        h.observe(7.0)
+        # The new epoch's percentile sees only its own samples.
+        assert h.percentile(50) == 7.0
+        assert h.count == 101
+
+    def test_epoch_zero_seed_matches_historical(self):
+        # A run that never calls begin_epoch and one that re-opens epoch
+        # 0 retain byte-identical samples: epoch 0 is the name-only seed.
+        plain, reopened = Histogram("x", max_samples=8), Histogram(
+            "x", max_samples=8)
+        reopened.begin_epoch(0)
+        for v in range(5000):
+            plain.observe(float(v))
+            reopened.observe(float(v))
+        assert plain.samples == reopened.samples
+
+    def test_epochs_retain_independent_deterministic_samples(self):
+        def fill(epoch):
+            h = Histogram("x", max_samples=8)
+            h.begin_epoch(epoch)
+            for v in range(5000):
+                h.observe(float(v))
+            return h.samples
+
+        assert fill(1) == fill(1)
+        assert fill(1) != fill(2)
+
+    def test_reset_returns_to_epoch_zero(self):
+        h = Histogram("x")
+        h.begin_epoch(3)
+        h.observe(1.0)
+        h.reset()
+        assert h.epoch == 0
+        assert h.count == 0 and h.samples == []
+
 
 class TestNullObjects:
     def test_null_metrics_are_inert(self):
