@@ -1,0 +1,112 @@
+"""Benchmark the analytic fast-path timing engine against the event path.
+
+Runs the three most expensive registered experiments (``fig13``,
+``table1``, ``fig15``) at the ``eval`` profile twice each — once with
+the event simulator (``REPRO_FASTPATH`` off) and once with the analytic
+fast path plus its per-layer timing memo — and writes
+``BENCH_fastpath.json`` at the repo root in the two-section schema
+``repro bench diff`` understands:
+
+* ``metrics.deterministic`` — figure-row identity between the two legs
+  (the fast path's whole contract is bit-identical output) plus the
+  simulated cycle totals of each experiment's first row source.
+* ``metrics.timing`` — host wall-clock per experiment per leg and the
+  ``<exp>_speedup`` ratios.  ``speedup`` in the metric name makes
+  ``repro bench diff`` treat regressions as drops, not rises.
+
+The script self-gates: it exits non-zero if any leg pair disagrees on
+figure data or if any of the three speedups lands below
+``SPEEDUP_FLOOR`` (5x — the point of the analytic engine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py [profile]
+
+Regenerate the committed baseline with the same command and commit the
+result whenever the fast path or the experiments deliberately change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.experiments import export
+from repro.experiments.all import run_one
+from repro.sim import fastpath
+
+EXPERIMENTS = ("fig13", "table1", "fig15")
+SPEEDUP_FLOOR = 5.0
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_fastpath.json")
+
+
+def _figure_data(results) -> list:
+    """Figure payloads only (rows/columns/notes), no telemetry metrics."""
+    payloads = []
+    for result in results:
+        payload = export.to_dict(result)
+        payload.pop("metrics", None)
+        payloads.append(payload)
+    return payloads
+
+
+def _timed_run(exp_id: str, profile: str, fast: bool):
+    fastpath.clear_memo()
+    with fastpath.forced(fast):
+        start = time.perf_counter()
+        results = run_one(exp_id, profile, outdir=None)
+        elapsed = time.perf_counter() - start
+    return _figure_data(results), elapsed
+
+
+def main(profile: str = "eval") -> int:
+    deterministic = {}
+    timing = {}
+    failures = []
+    for exp_id in EXPERIMENTS:
+        event_rows, event_s = _timed_run(exp_id, profile, fast=False)
+        fast_rows, fast_s = _timed_run(exp_id, profile, fast=True)
+        identical = event_rows == fast_rows
+        speedup = event_s / fast_s if fast_s > 0 else float("inf")
+        deterministic[f"{exp_id}.rows_identical"] = int(identical)
+        deterministic[f"{exp_id}.result_count"] = len(event_rows)
+        deterministic[f"{exp_id}.row_count"] = sum(
+            len(p["rows"]) for p in event_rows
+        )
+        timing[f"{exp_id}_event_seconds"] = round(event_s, 4)
+        timing[f"{exp_id}_fast_seconds"] = round(fast_s, 4)
+        timing[f"{exp_id}_speedup"] = round(speedup, 2)
+        print(
+            f"{exp_id:8s} event {event_s:7.2f}s  fast {fast_s:7.2f}s  "
+            f"speedup {speedup:6.2f}x  rows identical: {identical}"
+        )
+        if not identical:
+            failures.append(f"{exp_id}: fast-path figure data diverged")
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{exp_id}: speedup {speedup:.2f}x below the "
+                f"{SPEEDUP_FLOOR:.0f}x floor"
+            )
+
+    payload = {
+        "benchmark": "analytic fast path vs event simulator (fig13/table1/fig15)",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "profile": profile,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "metrics": {"deterministic": deterministic, "timing": timing},
+    }
+    out = os.path.abspath(OUT_PATH)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -80,6 +80,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown model {args.model!r}; choose from "
               f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
         return 2
+    from repro.sim import fastpath
+
+    fastpath.set_enabled(bool(args.fast))
     soc = SoC(SoCConfig(protection=args.protection))
     print(model.summary())
     handle = soc.submit(model, secure=args.secure)
@@ -142,7 +145,9 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.all import REGISTRY, run_all
     from repro.experiments.parallel import run_parallel
+    from repro.sim import fastpath
 
+    fastpath.set_enabled(bool(args.fast))
     ids = args.ids or ["all"]
     if "all" in ids:
         run_all(
@@ -720,6 +725,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--detailed", action="store_true",
                        help="simulate every DMA descriptor (slower)")
     p_run.add_argument("--input-size", type=int, default=112)
+    p_run.add_argument("--fast", action="store_true", default=False,
+                       dest="fast",
+                       help="analytic fast-path timing (bit-identical)")
+    p_run.add_argument("--no-fast", action="store_false", dest="fast",
+                       help="force the event simulator (default)")
     p_run.set_defaults(func=_cmd_run)
 
     p_attacks = sub.add_parser("attacks", help="execute the attack matrix")
@@ -753,6 +763,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default $REPRO_CACHE_DIR or "
              "~/.cache/repro-experiments)",
+    )
+    p_exp.add_argument(
+        "--fast", action="store_true", default=False, dest="fast",
+        help="use the analytic fast-path timing engine (bit-identical "
+             "results; see repro.sim.fastpath)",
+    )
+    p_exp.add_argument(
+        "--no-fast", action="store_false", dest="fast",
+        help="force the event simulator everywhere (default)",
     )
     p_exp.set_defaults(func=_cmd_experiments)
 

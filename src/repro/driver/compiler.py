@@ -32,10 +32,19 @@ from repro.errors import ConfigError
 from repro.npu.config import NPUConfig
 from repro.npu.isa import LayerSchedule, NPUProgram, SpadTransfer, TileIteration
 from repro.npu.systolic import SystolicArray
+from repro.sim import fastpath
 from repro.workloads.model import GemmSpec, Kernel, ModelGraph, VectorSpec
 
 #: Default virtual base address of a task's address space.
 TASK_VA_BASE = 0x1000_0000
+
+#: Fast-path blocking memo: ``_choose_blocking`` is a pure function of
+#: ``(spec, budget, acc_budget, config)`` (all frozen dataclasses), and
+#: experiments recompile the same kernels dozens of times.  Consulted
+#: only when the analytic fast path is enabled — the event leg keeps
+#: its unmemoised search so benchmarks compare like for like.
+_BLOCKING_MEMO: Dict[tuple, "Blocking"] = {}
+_BLOCKING_MEMO_MAX = 4096
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -203,6 +212,12 @@ class TilingCompiler:
     def _choose_blocking(
         self, spec: GemmSpec, budget: int, acc_budget: int
     ) -> Blocking:
+        closed = fastpath.enabled()
+        if closed:
+            memo_key = (spec, budget, acc_budget, self.config)
+            cached = _BLOCKING_MEMO.get(memo_key)
+            if cached is not None:
+                return cached
         d = self.config.array_dim
         ib = self.config.input_bytes
         acc_eb = self.config.acc_elem_bytes
@@ -233,7 +248,9 @@ class TilingCompiler:
                     # Minimize the modelled pipeline time (the same per-
                     # iteration max(load, compute, store) the core charges),
                     # with raw traffic as tiebreak (energy/contention).
-                    est_time = self._estimate_layer_time(spec, blocking)
+                    est_time = self._estimate_layer_time(
+                        spec, blocking, closed=closed
+                    )
                     key = (est_time, traffic)
                     if best is None or key < best[:2]:
                         best = (est_time, traffic, blocking)
@@ -242,13 +259,19 @@ class TilingCompiler:
             fallback = Blocking(
                 mb=min(m_cap, d), kb=min(k_cap, d), nb=min(n_cap, d)
             )
-            return Blocking(
+            chosen = Blocking(
                 mb=fallback.mb,
                 kb=fallback.kb,
                 nb=fallback.nb,
                 pack=self._choose_pack(spec, fallback),
             )
-        return best[2]
+        else:
+            chosen = best[2]
+        if closed:
+            if len(_BLOCKING_MEMO) >= _BLOCKING_MEMO_MAX:
+                _BLOCKING_MEMO.pop(next(iter(_BLOCKING_MEMO)))
+            _BLOCKING_MEMO[memo_key] = chosen
+        return chosen
 
     def _choose_pack(self, spec: GemmSpec, blocking: Blocking) -> int:
         if spec.repeat == 1:
@@ -267,14 +290,27 @@ class TilingCompiler:
         )
         return float(per_repeat * spec.repeat)
 
-    def _aggregate_gemm(self, spec: GemmSpec, b: Blocking) -> dict:
-        """Exact schedule aggregates in closed form (no factory fold).
+    def _aggregate_gemm(
+        self, spec: GemmSpec, b: Blocking, closed: Optional[bool] = None
+    ) -> dict:
+        """Exact schedule aggregates without a factory fold.
 
-        All per-iteration quantities factor over the (m, k, n) block-size
-        lists (each dimension has full blocks plus at most one edge block),
-        so the sums separate into per-dimension sums.  These equal what
-        iterating the factory would accumulate; a unit test asserts that.
+        Two bit-identical implementations: the reference form sums over
+        explicit per-dimension block-size lists; the O(1) closed form
+        (used on the analytic fast path) replaces each list sum with
+        ``count × per-size value`` — every dimension has full blocks
+        plus at most one edge block, and every summand is an integer,
+        so the product form is the same number.  A unit test asserts
+        field-by-field bit equality between the two.
         """
+        if closed is None:
+            closed = fastpath.enabled()
+        if closed and spec.m > 0 and spec.k > 0 and spec.n > 0:
+            return self._aggregate_gemm_closed(spec, b)
+        return self._aggregate_gemm_lists(spec, b)
+
+    def _aggregate_gemm_lists(self, spec: GemmSpec, b: Blocking) -> dict:
+        """Reference aggregate: explicit block-size lists, O(blocks)."""
         cfg = self.config
         d = cfg.array_dim
         ib, ob = cfg.input_bytes, cfg.output_bytes
@@ -342,9 +378,90 @@ class TilingCompiler:
             "n_store_req": n_store_req,
         }
 
-    def _estimate_layer_time(self, spec: GemmSpec, b: Blocking) -> float:
+    def _aggregate_gemm_closed(self, spec: GemmSpec, b: Blocking) -> dict:
+        """O(1) aggregate: ``count × value`` per distinct block size.
+
+        Mirrors :meth:`_aggregate_gemm_lists` term by term.  Each
+        dimension splits into ``q`` full blocks of size ``block`` plus
+        at most one edge block of size ``r``; every list sum therefore
+        collapses to ``q·f(block) + f(r)``.  All summands are ints, so
+        the collapse is exact (callers convert to float identically).
+        """
+        cfg = self.config
+        d = cfg.array_dim
+        ib, ob = cfg.input_bytes, cfg.output_bytes
+        row_eff = max(ib, (spec.input_bytes_per_pass // max(spec.m, 1)) * ib)
+
+        def split(total: int, block: int) -> Tuple[int, int, int]:
+            q, r = divmod(total, block)
+            return q, r, q + (1 if r else 0)
+
+        qm, rm, nM = split(spec.m, b.mb)
+        qk, rk, nK = split(spec.k, b.kb)
+        qn, rn, nN = split(spec.n, b.nb)
+        halo_cap = (
+            _ceil_div(spec.input_halo_bytes * ib, row_eff)
+            if spec.input_halo_bytes
+            else 0
+        )
+
+        sum_rowb = qk * max(ib, row_eff * b.kb // spec.k) + (
+            max(ib, row_eff * rk // spec.k) if rk else 0
+        )
+        sum_wtk = qk * _ceil_div(b.kb, d) + (_ceil_div(rk, d) if rk else 0)
+        sum_wtn = qn * _ceil_div(b.nb, d) + (_ceil_div(rn, d) if rn else 0)
+        sum_sub_m_plain = qm * _ceil_div(b.mb, d) + (
+            _ceil_div(rm, d) if rm else 0
+        )
+        # m blocks gain a halo overlap except the very first block.
+        if halo_cap and nM > 1:
+            hf = min(b.mb // 2, halo_cap)
+            he = min(rm // 2, halo_cap)
+            sum_me = spec.m + (qm - 1) * hf + (he if rm else 0)
+            sum_sub_m = (
+                _ceil_div(b.mb, d)
+                + (qm - 1) * _ceil_div(b.mb + hf, d)
+                + (_ceil_div(rm + he, d) if rm else 0)
+            )
+        else:
+            sum_me = spec.m
+            sum_sub_m = sum_sub_m_plain
+
+        iters_inner = nM * nK * nN
+        gs = _ceil_div(spec.repeat, b.pack)
+        rep = spec.repeat
+        load_bytes = float(
+            nN * sum_me * sum_rowb * rep + nM * spec.k * spec.n * ib * rep
+        )
+        store_bytes = float(spec.m * spec.n * ob * rep)
+        preload = cfg.weight_preload_cycles
+        compute = float(
+            rep
+            * (
+                sum_wtk * sum_wtn * (nM * preload + spec.m)
+                + iters_inner * d
+            )
+        )
+        macs = spec.m * spec.k * spec.n * rep
+        # sum_sub_k ≡ sum_wtk: both sum ceil(bk / d) over the k blocks.
+        n_load_req = (nN * sum_sub_m * nK + nM * nN * sum_wtk) * gs
+        n_store_req = nN * sum_sub_m_plain * gs
+        return {
+            "iters": iters_inner * gs,
+            "blocks": nM * nN * gs,
+            "load_bytes": load_bytes,
+            "store_bytes": store_bytes,
+            "compute": compute,
+            "macs": macs,
+            "n_load_req": n_load_req,
+            "n_store_req": n_store_req,
+        }
+
+    def _estimate_layer_time(
+        self, spec: GemmSpec, b: Blocking, closed: Optional[bool] = None
+    ) -> float:
         """The analytic layer time the core will charge for this blocking."""
-        agg = self._aggregate_gemm(spec, b)
+        agg = self._aggregate_gemm(spec, b, closed=closed)
         bw = self.config.dram_bytes_per_cycle
         iters = agg["iters"]
         blocks = max(agg["blocks"], 1)
@@ -422,25 +539,39 @@ class TilingCompiler:
                                 last_k=(ki == k_steps - 1),
                             )
 
-        # Analytic summary by folding the factory once (guarantees the two
-        # timing paths describe the same schedule).
-        n_iter = 0
-        n_blocks = 0
-        load_bytes = 0.0
-        store_bytes = 0.0
-        compute_cycles = 0.0
-        macs = 0
-        n_load_req = 0
-        n_store_req = 0
-        for it in iterations():
-            n_iter += 1
-            n_blocks += 1 if it.end_of_block else 0
-            load_bytes += it.load_bytes
-            store_bytes += it.store_bytes
-            compute_cycles += it.compute_cycles
-            macs += it.macs
-            n_load_req += sum(t.request.sub_requests for t in it.loads)
-            n_store_req += sum(t.request.sub_requests for t in it.stores)
+        # Analytic summary.  On the fast path the closed-form aggregates
+        # stand in for the factory fold; both describe the same schedule
+        # and agree exactly (every term is an integer-valued float below
+        # 2**53, so the product form and the sequential sum are the same
+        # float — tests/unit/test_isa_compiler.py asserts `==`).
+        if fastpath.enabled():
+            agg = self._aggregate_gemm(spec, blocking)
+            n_iter = agg["iters"]
+            n_blocks = agg["blocks"]
+            load_bytes = agg["load_bytes"]
+            store_bytes = agg["store_bytes"]
+            compute_cycles = agg["compute"]
+            macs = agg["macs"]
+            n_load_req = agg["n_load_req"]
+            n_store_req = agg["n_store_req"]
+        else:
+            n_iter = 0
+            n_blocks = 0
+            load_bytes = 0.0
+            store_bytes = 0.0
+            compute_cycles = 0.0
+            macs = 0
+            n_load_req = 0
+            n_store_req = 0
+            for it in iterations():
+                n_iter += 1
+                n_blocks += 1 if it.end_of_block else 0
+                load_bytes += it.load_bytes
+                store_bytes += it.store_bytes
+                compute_cycles += it.compute_cycles
+                macs += it.macs
+                n_load_req += sum(t.request.sub_requests for t in it.loads)
+                n_store_req += sum(t.request.sub_requests for t in it.stores)
 
         spad_lines_used = min(
             cfg.spad_lines,

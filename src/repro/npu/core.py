@@ -30,6 +30,7 @@ from repro.npu.dma import DMAEngine
 from repro.npu.isa import LayerSchedule, NPUProgram
 from repro.npu.scratchpad import Scratchpad, SpadIsolationMode
 from repro.npu.systolic import SystolicArray
+from repro.sim import fastpath as _fastpath
 
 #: Supported flush granularities of the TrustZone-NPU baseline (Fig. 14).
 FLUSH_GRANULARITIES = ("tile", "layer", "layer5")
@@ -117,6 +118,9 @@ class NPUCore:
             accumulator=self.accumulator,
             functional=functional,
         )
+        #: Attached adversary (see :mod:`repro.security.attacks`); any
+        #: non-None value routes detailed runs off the analytic fast path.
+        self.attacker = None
         tel = telemetry.metrics.group("npu.core")
         self._m_layers = tel.counter("layers_run")
         self._m_cycles = tel.gauge("cycles_total")
@@ -387,6 +391,11 @@ class NPUCore:
         profiling = profiler.enabled
         if profiling:
             profiler.begin_run(program.task_name, "detailed")
+        fast_run = (
+            _fastpath.begin_run(self, program, share, flush)
+            if _fastpath.enabled()
+            else None
+        )
         layers: List[LayerResult] = []
         total = 0.0
         flush_total = 0.0
@@ -410,26 +419,33 @@ class NPUCore:
                 seg_last_store = 0.0
                 comp_sum = 0.0
                 n_bound = 0
-                for it in layer.iterations():
-                    load = sum(self.dma.execute(t, share) for t in it.loads)
-                    if self.dma.functional:
-                        self._functional_compute(it)
-                    store = sum(self.dma.execute(t, share) for t in it.stores)
-                    compute = it.compute_cycles
-                    self.systolic.record(compute, it.macs)
-                    comp_sum += compute
-                    if seg_first_load is None:
-                        seg_first_load = load
-                    seg_sum += max(load, compute, store)
-                    seg_last_store = store
-                    if flush == "tile" and it.end_of_block:
-                        boundary = self._boundary_cost(layer, share)
-                        layer_cycles += (
-                            seg_sum + (seg_first_load or 0.0) + seg_last_store + boundary
-                        )
-                        layer_flush += boundary
-                        n_bound += 1
-                        seg_sum, seg_first_load, seg_last_store = 0.0, None, 0.0
+                fast_res = fast_run.layer(layer) if fast_run is not None else None
+                if fast_res is not None:
+                    # Analytic replay: segment state stays at init values,
+                    # so the post-loop/flush blocks below are no-ops
+                    # (fast runs never carry a flush granularity).
+                    layer_cycles, comp_sum = fast_res
+                else:
+                    for it in layer.iterations():
+                        load = sum(self.dma.execute(t, share) for t in it.loads)
+                        if self.dma.functional:
+                            self._functional_compute(it)
+                        store = sum(self.dma.execute(t, share) for t in it.stores)
+                        compute = it.compute_cycles
+                        self.systolic.record(compute, it.macs)
+                        comp_sum += compute
+                        if seg_first_load is None:
+                            seg_first_load = load
+                        seg_sum += max(load, compute, store)
+                        seg_last_store = store
+                        if flush == "tile" and it.end_of_block:
+                            boundary = self._boundary_cost(layer, share)
+                            layer_cycles += (
+                                seg_sum + (seg_first_load or 0.0) + seg_last_store + boundary
+                            )
+                            layer_flush += boundary
+                            n_bound += 1
+                            seg_sum, seg_first_load, seg_last_store = 0.0, None, 0.0
                 if seg_first_load is not None or seg_sum:
                     layer_cycles += seg_sum + (seg_first_load or 0.0) + seg_last_store
                 if flush == "layer" or (flush == "layer5" and (i + 1) % 5 == 0):

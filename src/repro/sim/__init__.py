@@ -1,5 +1,6 @@
 """Deterministic simulation kernel: event queue, clock, shared resources."""
 
+from repro.sim import fastpath
 from repro.sim.clock import Clock
 from repro.sim.engine import SimEngine, Event
 from repro.sim.resources import BandwidthResource, PipelineModel, StageTimes
@@ -12,6 +13,7 @@ __all__ = [
     "BandwidthResource",
     "PipelineModel",
     "StageTimes",
+    "fastpath",
     "init_worker",
     "seed_rngs",
     "stable_seed",

@@ -27,6 +27,7 @@ import pytest
 
 from repro.experiments import export
 from repro.experiments.all import REGISTRY, run_one
+from repro.sim import fastpath
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
 PROFILE = "tiny"
@@ -80,11 +81,21 @@ def _assert_cell(exp_id: str, result_id: str, row: int, column: str,
         )
 
 
+@pytest.mark.parametrize("fast", (False, True), ids=("event", "fast"))
 @pytest.mark.parametrize("exp_id", EXP_IDS)
-def test_golden(exp_id, update_goldens):
+def test_golden(exp_id, fast, update_goldens):
     path = _golden_path(exp_id)
-    fresh = _snapshot(exp_id)
+    if fast:
+        # The analytic fast path must reproduce every committed golden
+        # byte-for-byte (same floats, same strings, same ordering).
+        fastpath.clear_memo()
+        with fastpath.forced(True):
+            fresh = _snapshot(exp_id)
+    else:
+        fresh = _snapshot(exp_id)
     if update_goldens:
+        if fast:
+            return  # goldens are written once, from the event-path leg
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         with open(path, "w") as fh:
             json.dump(fresh, fh, indent=2, sort_keys=True)
@@ -114,3 +125,13 @@ def test_golden(exp_id, update_goldens):
             assert sorted(grow) == sorted(nrow), f"{rid} row {i}: keys drifted"
             for column in gold["columns"]:
                 _assert_cell(exp_id, rid, i, column, grow[column], nrow[column])
+
+    if fast:
+        # Stronger than cell-by-cell: the rendered JSON must match the
+        # committed golden file byte-for-byte.
+        dumped = json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+        with open(path) as fh:
+            assert dumped == fh.read(), (
+                f"{exp_id}: fast-path snapshot is not byte-identical to "
+                f"the committed golden"
+            )

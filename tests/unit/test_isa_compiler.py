@@ -96,6 +96,34 @@ class TestBlockingSelection:
                 assert folded_compute == pytest.approx(layer.compute_cycles)
                 assert folded_macs == layer.macs
 
+    def test_fastpath_compile_bit_identical(self, cfg):
+        """The fast-path compile (closed-form aggregates) must equal the
+        event-path compile (factory fold) EXACTLY — same bits, same types
+        — for every summary field and the program measurement.  Every
+        aggregate is an integer-valued float below 2**53, so the product
+        form and the sequential sum are the same float."""
+        from repro.sim import fastpath
+
+        fields = (
+            "n_iterations", "n_blocks", "load_bytes", "store_bytes",
+            "compute_cycles", "macs", "n_load_requests", "n_store_requests",
+            "spad_lines_used", "resident_bytes",
+        )
+        models = [synthetic_mlp(), synthetic_cnn(), zoo.yololite(56),
+                  zoo.bert(seq_len=64, layers=2)]
+        for model in models:
+            with fastpath.forced(False):
+                slow = TilingCompiler(cfg).compile(model)
+            with fastpath.forced(True):
+                fast = TilingCompiler(cfg).compile(model)
+            assert slow.measurement() == fast.measurement()
+            for a, b in zip(slow.layers, fast.layers):
+                for field in fields:
+                    va, vb = getattr(a, field), getattr(b, field)
+                    assert va == vb and type(va) is type(vb), (
+                        f"{model.name}/{a.name}.{field}: {va!r} != {vb!r}"
+                    )
+
     def test_macs_are_exact(self, cfg):
         compiler = TilingCompiler(cfg)
         model = synthetic_cnn()
