@@ -1,0 +1,56 @@
+"""Shared BENCH_*.json writer for the ``benchmarks/`` scripts.
+
+One writer instead of four hand-rolled copies: every benchmark payload
+gets the same stamps (``bench_id``, ``timestamp``, ``cpu_count``, and —
+new — the NPUConfig/source digests the experiment cache already
+computes, so a BENCH file pins exactly which simulator produced it),
+the same serialization (sorted keys, trailing newline), and is archived
+into the persistent run store (:mod:`repro.store`) so ``repro bench
+diff --history N``, ``repro history`` and the ``repro report``
+sparklines can gate against the trajectory, not just one committed
+baseline.
+
+The wall-clock stamp lives only in the *file* (a human-facing artifact);
+the archived rows are content-derived and carry no timestamp, so the
+store's byte-determinism contract holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.experiments.cache import config_digest, source_digest
+from repro.store import ingest_quietly
+from repro.store.ingest import record_from_bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench(
+    bench_id: str,
+    payload: Dict[str, Any],
+    out_path: Optional[str] = None,
+) -> str:
+    """Stamp, write and archive one benchmark payload.
+
+    *payload* carries the benchmark's own fields (``benchmark`` title,
+    parameters, and either the two-section ``metrics`` block or a legacy
+    flat schema).  Returns the path written.
+    """
+    stamped = dict(payload)
+    stamped["bench_id"] = bench_id
+    stamped["timestamp"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    stamped["cpu_count"] = os.cpu_count()
+    stamped["config_digest"] = config_digest()
+    stamped["source_digest"] = source_digest()
+    path = out_path or os.path.join(REPO_ROOT, f"BENCH_{bench_id}.json")
+    with open(path, "w") as fh:
+        json.dump(stamped, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    ingest_quietly(record_from_bench(stamped, bench_id))
+    return path

@@ -28,18 +28,16 @@ result whenever the fast path or the experiments deliberately change.
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 import time
 
+from _common import write_bench
 from repro.experiments import export
 from repro.experiments.all import run_one
 from repro.sim import fastpath
 
 EXPERIMENTS = ("fig13", "table1", "fig15")
 SPEEDUP_FLOOR = 5.0
-OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_fastpath.json")
 
 
 def _figure_data(results) -> list:
@@ -90,18 +88,12 @@ def main(profile: str = "eval") -> int:
                 f"{SPEEDUP_FLOOR:.0f}x floor"
             )
 
-    payload = {
+    out = write_bench("fastpath", {
         "benchmark": "analytic fast path vs event simulator (fig13/table1/fig15)",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "cpu_count": os.cpu_count(),
         "profile": profile,
         "speedup_floor": SPEEDUP_FLOOR,
         "metrics": {"deterministic": deterministic, "timing": timing},
-    }
-    out = os.path.abspath(OUT_PATH)
-    with open(out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    })
     print(f"wrote {out}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

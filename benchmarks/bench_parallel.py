@@ -25,13 +25,12 @@ on a single-core container, and the file says so.
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import sys
 import tempfile
-import time
 
+from _common import write_bench
 from repro.experiments import export
 from repro.experiments.parallel import run_parallel
 from repro.sim import fastpath
@@ -86,8 +85,6 @@ def main(jobs: int = 4, profile: str = "eval") -> int:
 
         payload = {
             "benchmark": "repro all --jobs N vs --jobs 1",
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            "cpu_count": os.cpu_count(),
             "profile": profile,
             "jobs": jobs,
             "experiments": [o.exp_id for o in serial.outcomes],
@@ -109,11 +106,7 @@ def main(jobs: int = 4, profile: str = "eval") -> int:
                 "the pool only adds process overhead"
             ),
         }
-        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        out_path = os.path.join(root, "BENCH_parallel.json")
-        with open(out_path, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        out_path = write_bench("parallel", payload)
 
         print(f"\nserial   {serial.wall_seconds:7.1f}s")
         print(f"parallel {parallel.wall_seconds:7.1f}s  "

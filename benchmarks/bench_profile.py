@@ -23,17 +23,15 @@ result when a deliberate model change shifts the deterministic numbers.
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 import time
 
+from _common import write_bench
 from repro.analysis.profile import profile_model
 from repro.workloads import zoo
 
 MODELS = ("resnet", "mobilenet")
 PROTECTIONS = ("none", "trustzone", "snpu")
-OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_profile.json")
 
 
 def main(input_size: int = 112) -> int:
@@ -66,10 +64,8 @@ def main(input_size: int = 112) -> int:
     elapsed = time.perf_counter() - started
     timing["profile_runs_per_sec"] = round(runs / elapsed, 4)
 
-    payload = {
+    out = write_bench("profile", {
         "benchmark": "repro profile workload matrix (detailed path)",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "cpu_count": os.cpu_count(),
         "input_size": input_size,
         "models": list(MODELS),
         "protections": list(PROTECTIONS),
@@ -77,11 +73,7 @@ def main(input_size: int = 112) -> int:
             "deterministic": deterministic,
             "timing": timing,
         },
-    }
-    out = os.path.normpath(OUT_PATH)
-    with open(out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    })
     print(f"\nwrote {out} ({runs} profiles in {elapsed:.1f}s)")
     return 0
 

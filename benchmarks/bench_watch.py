@@ -22,11 +22,10 @@ Usage::
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 import time
 
+from _common import write_bench
 from repro import telemetry
 from repro.serving.queueing import ServeSimulator
 from repro.serving.workload import SCENARIOS
@@ -39,7 +38,6 @@ WINDOW_MS = 50.0
 REPS = 3
 #: Streaming-layer overhead budget (windowed / plain host seconds).
 OVERHEAD_BUDGET = 1.30
-OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_watch.json")
 
 
 def _run(duration_ms: float, window_ms):
@@ -101,10 +99,8 @@ def main(duration_ms: float = 400.0) -> int:
         "watch_overhead_ratio": round(ratio, 4),
     }
 
-    payload = {
+    out = write_bench("watch", {
         "benchmark": "streaming observability overhead (repro watch path)",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "cpu_count": os.cpu_count(),
         "scenario": SCENARIO,
         "mechanism": MECHANISM,
         "seed": SEED,
@@ -115,11 +111,7 @@ def main(duration_ms: float = 400.0) -> int:
             "deterministic": deterministic,
             "timing": timing,
         },
-    }
-    out = os.path.normpath(OUT_PATH)
-    with open(out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    })
     print(
         f"plain {plain_best:.3f}s  windowed {windowed_best:.3f}s  "
         f"overhead x{ratio:.3f} (budget x{OVERHEAD_BUDGET:g})"

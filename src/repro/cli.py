@@ -17,6 +17,10 @@
     python -m repro profile resnet --protection snpu --diff baseline
     python -m repro profile resnet --host  # cProfile the simulator itself
     python -m repro bench diff BENCH_profile.json new.json
+    python -m repro bench diff BENCH_profile.json --history 3
+    python -m repro query p99-by-tenant    # canned query over the archive
+    python -m repro history serve.completed --last 10
+    python -m repro report -o dashboard.html   # byte-deterministic HTML
 """
 
 from __future__ import annotations
@@ -81,13 +85,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
         return 2
     from repro.sim import fastpath
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_run
 
     fastpath.set_enabled(bool(args.fast))
-    soc = SoC(SoCConfig(protection=args.protection))
-    print(model.summary())
-    handle = soc.submit(model, secure=args.secure)
-    result = soc.run(handle, detailed=args.detailed)
-    soc.release(handle)
+    with telemetry.scoped(trace=False) as scope:
+        soc = SoC(SoCConfig(protection=args.protection))
+        print(model.summary())
+        handle = soc.submit(model, secure=args.secure)
+        result = soc.run(handle, detailed=args.detailed)
+        soc.release(handle)
+        snapshot = scope.metrics.snapshot()
+    ingest_quietly(record_from_run(
+        model=args.model, protection=args.protection, secure=args.secure,
+        input_size=args.input_size, cycles=result.cycles,
+        utilization=result.utilization, dma_bytes=result.dma_bytes,
+        metrics=snapshot,
+    ))
     print(
         f"{args.protection}{' secure' if args.secure else ''}: "
         f"{result.cycles:,.0f} cycles "
@@ -120,14 +134,18 @@ def _check_protections(values: List[str]) -> Optional[List[str]]:
 
 
 def _cmd_attacks(args: argparse.Namespace) -> int:
-    from repro.security.attacks import ALL_ATTACKS, run_all_attacks
+    from repro.security.attacks import run_all_attacks
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_attacks
 
     protections = _check_protections(args.protections)
     if protections is None:
         return 2
+    matrix = {}
     for protection in protections:
         print(f"== protection: {protection} ==")
-        for result in run_all_attacks(protection):
+        matrix[protection] = run_all_attacks(protection)
+        for result in matrix[protection]:
             outcome = (
                 "SECRET LEAKED"
                 if result.succeeded
@@ -139,6 +157,7 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
             else:
                 detect = "undetected (below all checks)"
             print(f"  {result.name:28s} {outcome:42s} [{detect}]")
+    ingest_quietly(record_from_attacks(matrix))
     return 0
 
 
@@ -206,25 +225,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"unknown model {args.model!r}; choose from "
               f"{', '.join(zoo.MODEL_BUILDERS)}", file=sys.stderr)
         return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_stats
+
     with telemetry.scoped(trace=False) as scope:
         soc = SoC(SoCConfig(protection=args.protection))
         result = soc.run_model(
             model, secure=args.secure, detailed=args.detailed
         )
         snapshot = scope.metrics.snapshot()
+    ingest_quietly(record_from_stats(
+        model=args.model, protection=args.protection, secure=args.secure,
+        input_size=args.input_size, cycles=result.cycles, snapshot=snapshot,
+    ))
+
+    def render_table() -> str:
+        lines = [
+            f"{model.name} on {args.protection}"
+            f"{' secure' if args.secure else ''}: "
+            f"{result.cycles:,.0f} cycles",
+            "",
+        ]
+        width = max((len(k) for k in snapshot), default=0)
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            shown = (
+                f"{value:,.3f}" if isinstance(value, float) else f"{value:,}"
+            )
+            lines.append(f"  {name.ljust(width)}  {shown}")
+        return "\n".join(lines)
+
     fmt = args.format or ("json" if args.json else "table")
-    if fmt == "json":
-        print(json.dumps(snapshot, indent=2, default=str, sort_keys=True))
-        return 0
-    print(
-        f"{model.name} on {args.protection}"
-        f"{' secure' if args.secure else ''}: {result.cycles:,.0f} cycles\n"
-    )
-    width = max((len(k) for k in snapshot), default=0)
-    for name in sorted(snapshot):
-        value = snapshot[name]
-        shown = f"{value:,.3f}" if isinstance(value, float) else f"{value:,}"
-        print(f"  {name.ljust(width)}  {shown}")
+    payload = _format_payload(fmt, {
+        "json": lambda: json.dumps(
+            snapshot, indent=2, default=str, sort_keys=True
+        ),
+        "table": render_table,
+    })
+    if payload is None:
+        return 2
+    print(payload)
     return 0
 
 
@@ -376,7 +416,20 @@ def _cmd_flows(args: argparse.Namespace) -> int:
             fh.write(trace_payload)
         print(f"flow trace written to {args.trace} "
               f"(open with https://ui.perfetto.dev)", file=sys.stderr)
-    _emit(report.render(args.format), args.out)
+    payload = _format_payload(args.format, {
+        fmt: (lambda f=fmt: report.render(f))
+        for fmt in ("table", "md", "json")
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_flows
+
+    ingest_quietly(record_from_flows(
+        report, model=args.model, controller=args.controller,
+        input_size=args.input_size,
+    ))
+    _emit(payload, args.out)
     return 0
 
 
@@ -425,7 +478,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     for origin, records in produced:
         ledger.ingest(records, origin=origin)
 
-    if args.format == "summary":
+    def render_summary() -> str:
         lines = [f"audit ledger: {len(ledger)} records from "
                  f"{len(items)} attack runs"]
         width = max((len(k) for k in ledger.kinds()), default=0)
@@ -433,9 +486,19 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             denies = len(ledger.find(kind=kind, decision="deny"))
             lines.append(f"  {kind.ljust(width)}  {count:4d} records"
                          + (f"  ({denies} denies)" if denies else ""))
-        _emit("\n".join(lines) + "\n", args.out)
-    else:
-        _emit(ledger.to_jsonl(), args.out)
+        return "\n".join(lines) + "\n"
+
+    payload = _format_payload(args.format, {
+        "summary": render_summary,
+        "jsonl": ledger.to_jsonl,
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_audit
+
+    ingest_quietly(record_from_audit(ledger, protections))
+    _emit(payload, args.out)
     return 0
 
 
@@ -469,7 +532,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fh.write(trace_payload)
         print(f"flow trace written to {args.trace} "
               f"(open with https://ui.perfetto.dev)", file=sys.stderr)
-    _emit(report.render(args.format), args.out)
+    payload = _format_payload(args.format, {
+        fmt: (lambda f=fmt: report.render(f))
+        for fmt in ("table", "json")
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_serve
+
+    ingest_quietly(record_from_serve(report, seed=args.seed))
+    _emit(payload, args.out)
     if args.format == "table":
         print(f"({n_flows} request flows tracked, "
               f"{n_audit} audit records)")
@@ -507,7 +580,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     windows = outcome.windows
     assert windows is not None
     timeline = windows.timeline()
-    if args.format == "json":
+
+    def render_json() -> str:
         payload = {
             "scenario": outcome.scenario,
             "mechanism": outcome.mechanism,
@@ -520,42 +594,58 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             "makespan_cycles": outcome.makespan,
             "timeline": timeline,
         }
-        _emit(json.dumps(payload, indent=2, sort_keys=True) + "\n", args.out)
-        return 0
-    cycles_per_ms = outcome.freq_ghz * 1e6
-    names = windows.tenant_names
-    lines = [
-        f"== watch: scenario={outcome.scenario} mechanism={outcome.mechanism} "
-        f"policy={outcome.policy} rps={outcome.rps:g} "
-        f"duration={outcome.duration_ms:g}ms window={windows.window_ms:g}ms "
-        f"seed={outcome.seed} ==",
-        "win  t_ms      arr  done  ok    deny  flush  wsw   p99_ms",
-    ]
-    for rec in timeline:
-        tenants = rec["tenants"]
-        arr = sum(t["arrivals"] for t in tenants.values())
-        done = sum(t["completions"] for t in tenants.values())
-        ok = sum(t["sla_ok"] for t in tenants.values())
-        deny = sum(t["denies"] for t in tenants.values())
-        p99s = " ".join(
-            f"{name}=" + (
-                "-" if tenants[name]["p99_ms"] is None
-                else f"{tenants[name]['p99_ms']:.2f}"
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def render_table() -> str:
+        cycles_per_ms = outcome.freq_ghz * 1e6
+        names = windows.tenant_names
+        lines = [
+            f"== watch: scenario={outcome.scenario} "
+            f"mechanism={outcome.mechanism} "
+            f"policy={outcome.policy} rps={outcome.rps:g} "
+            f"duration={outcome.duration_ms:g}ms "
+            f"window={windows.window_ms:g}ms "
+            f"seed={outcome.seed} ==",
+            "win  t_ms      arr  done  ok    deny  flush  wsw   p99_ms",
+        ]
+        for rec in timeline:
+            tenants = rec["tenants"]
+            arr = sum(t["arrivals"] for t in tenants.values())
+            done = sum(t["completions"] for t in tenants.values())
+            ok = sum(t["sla_ok"] for t in tenants.values())
+            deny = sum(t["denies"] for t in tenants.values())
+            p99s = " ".join(
+                f"{name}=" + (
+                    "-" if tenants[name]["p99_ms"] is None
+                    else f"{tenants[name]['p99_ms']:.2f}"
+                )
+                for name in names
             )
-            for name in names
-        )
+            lines.append(
+                f"{rec['window']:>3d}  "
+                f"{rec['end_cycle'] / cycles_per_ms:<8g} "
+                f"{arr:>4d} {done:>5d} {ok:>5d} {deny:>5d} "
+                f"{rec['flushes']:>6d} {rec['world_switches']:>4d}   {p99s}"
+            )
         lines.append(
-            f"{rec['window']:>3d}  {rec['end_cycle'] / cycles_per_ms:<8g} "
-            f"{arr:>4d} {done:>5d} {ok:>5d} {deny:>5d} "
-            f"{rec['flushes']:>6d} {rec['world_switches']:>4d}   {p99s}"
+            f"totals: {len(outcome.completed)} completed over "
+            f"{len(timeline)} windows; {outcome.flushes} flushes, "
+            f"{outcome.world_switches} world switches; window partial sums "
+            f"reconcile exactly with run totals"
         )
-    lines.append(
-        f"totals: {len(outcome.completed)} completed over "
-        f"{len(timeline)} windows; {outcome.flushes} flushes, "
-        f"{outcome.world_switches} world switches; window partial sums "
-        f"reconcile exactly with run totals"
-    )
-    _emit("\n".join(lines) + "\n", args.out)
+        return "\n".join(lines) + "\n"
+
+    payload = _format_payload(args.format, {
+        "json": render_json,
+        "table": render_table,
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_watch
+
+    ingest_quietly(record_from_watch(outcome, seed=args.seed))
+    _emit(payload, args.out)
     return 0
 
 
@@ -579,7 +669,20 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     scenario, outcome = _serve_windowed(args, spec.window_ms)
     assert outcome.windows is not None
     report = evaluate(spec, outcome.windows.timeline())
-    _emit(report.render(args.format), args.out)
+    payload = _format_payload(args.format, {
+        fmt: (lambda f=fmt: report.render(f))
+        for fmt in ("table", "json")
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_slo
+
+    ingest_quietly(record_from_slo(
+        report, scenario=args.scenario, mechanism=args.mechanism,
+        policy=args.policy, seed=args.seed,
+    ))
+    _emit(payload, args.out)
     return 0 if report.ok else 1
 
 
@@ -607,6 +710,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         model, protection=args.protection, detailed=not args.analytic,
         secure=args.secure,
     )
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_profile
+
+    ingest_quietly(record_from_profile(profile))
 
     if args.diff:
         base_name = "none" if args.diff == "baseline" else args.diff
@@ -619,22 +726,42 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             secure=args.secure and base_name != "none",
         )
         diff = diff_profiles(base, profile)
-        if args.format == "json":
-            _emit(diff.to_json(), args.out)
-        else:
-            _emit(diff.to_table(markdown=args.format == "md"), args.out)
+        payload = _format_payload(args.format, {
+            "json": diff.to_json,
+            "md": lambda: diff.to_table(markdown=True),
+            "table": lambda: diff.to_table(markdown=False),
+        })
+        if payload is None:
+            return 2
+        _emit(payload, args.out)
         return 0
 
-    if args.format == "json":
-        payload = profile.to_json()
-    elif args.format == "md":
-        payload = profile.to_markdown()
-    elif args.format == "folded":
-        payload = profile.to_folded()
-    else:
-        payload = profile.to_table()
+    payload = _format_payload(args.format, {
+        "json": profile.to_json,
+        "md": profile.to_markdown,
+        "folded": profile.to_folded,
+        "table": profile.to_table,
+    })
+    if payload is None:
+        return 2
     _emit(payload, args.out)
     return 0
+
+
+def _format_payload(fmt: str, renderers) -> Optional[str]:
+    """Shared ``--format`` dispatch for every report-emitting verb.
+
+    *renderers* maps format name -> zero-arg callable producing the
+    payload.  An unknown format prints one line to stderr and returns
+    None; the caller returns exit code 2.  (One helper instead of five
+    per-verb copies, so the error contract cannot drift between verbs.)
+    """
+    renderer = renderers.get(fmt)
+    if renderer is None:
+        print(f"unknown format {fmt!r}; choose from "
+              f"{', '.join(sorted(renderers))}", file=sys.stderr)
+        return None
+    return renderer()
 
 
 def _emit(payload: str, out: Optional[str]) -> None:
@@ -646,26 +773,151 @@ def _emit(payload: str, out: Optional[str]) -> None:
         print(payload, end="" if payload.endswith("\n") else "\n")
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    """Compare two BENCH_*.json perf trajectories (regression gate)."""
-    from repro.telemetry.regression import compare_bench_files
+def _bench_id_of(path: str, payload: dict) -> str:
+    """The archive's bench_id for one BENCH file: the stamped field when
+    present (benchmarks/_common.py writes it), else the filename stem
+    (``BENCH_profile.json`` -> ``profile``)."""
+    stamped = payload.get("bench_id")
+    if stamped:
+        return str(stamped)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
 
-    for path in (args.old, args.new):
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Compare BENCH_*.json perf trajectories (regression gate).
+
+    Two files -> pairwise diff (the classic committed-baseline check).
+    With ``--history N`` the *last* file is additionally gated against
+    the median of the last N archived runs of the same benchmark; one
+    file + ``--history N`` runs the history gate alone.  Exit 1 on any
+    regression, 2 on usage/environment errors.
+    """
+    from repro.errors import StoreError
+    from repro.telemetry.regression import (
+        compare_bench_files, compare_bench_history,
+    )
+
+    files = list(args.files)
+    if len(files) > 2:
+        print("bench diff takes at most two files (old new)",
+              file=sys.stderr)
+        return 2
+    if len(files) == 1 and not args.history:
+        print("bench diff needs two files, or one file with --history N",
+              file=sys.stderr)
+        return 2
+    for path in files:
         if not os.path.exists(path):
             print(f"no such bench file {path!r}", file=sys.stderr)
             return 2
-    try:
-        comparison = compare_bench_files(
-            args.old, args.new,
+
+    ok = True
+    if len(files) == 2:
+        try:
+            comparison = compare_bench_files(
+                files[0], files[1],
+                timing_tolerance=args.timing_tolerance,
+                deterministic_tolerance=args.deterministic_tolerance,
+            )
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"cannot compare bench files: {exc}", file=sys.stderr)
+            return 2
+        print(f"bench diff: {files[0]} -> {files[1]}")
+        print(comparison.format_table(), end="")
+        ok = ok and comparison.ok
+
+    if args.history:
+        from repro.store import RunStore
+
+        new_path = files[-1]
+        try:
+            with open(new_path) as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"cannot read bench file {new_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        bench_id = args.bench_id or _bench_id_of(new_path, payload)
+        try:
+            histories = RunStore(args.store).bench_history(
+                bench_id, last=args.history
+            )
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not histories:
+            print(f"no archived runs of benchmark {bench_id!r} to gate "
+                  f"against (run benchmarks/bench_{bench_id}.py first)",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_bench_history(
+            histories, payload,
             timing_tolerance=args.timing_tolerance,
             deterministic_tolerance=args.deterministic_tolerance,
         )
-    except (json.JSONDecodeError, OSError) as exc:
-        print(f"cannot compare bench files: {exc}", file=sys.stderr)
+        print(f"bench history gate: median of last {len(histories)} "
+              f"archived {bench_id!r} run(s) -> {new_path}")
+        print(comparison.format_table(), end="")
+        ok = ok and comparison.ok
+    return 0 if ok else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Canned or raw read-only SQL over the run archive."""
+    from repro.errors import StoreError
+    from repro.store import RunStore
+    from repro.store.queries import CANNED, format_rows, run_query
+
+    if args.list or not args.query:
+        width = max(len(name) for name in CANNED)
+        print("canned queries (or pass raw read-only SQL):")
+        for name in sorted(CANNED):
+            print(f"  {name.ljust(width)}  {CANNED[name][0]}")
+        return 0
+    try:
+        columns, rows = run_query(RunStore(args.store), args.query)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"bench diff: {args.old} -> {args.new}")
-    print(comparison.format_table(), end="")
-    return 0 if comparison.ok else 1
+    _emit(format_rows(columns, rows), args.out)
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """Per-metric trend table across archived runs."""
+    from repro.errors import StoreError
+    from repro.store import RunStore
+    from repro.store.queries import history_table
+
+    try:
+        table = history_table(
+            RunStore(args.store), args.metric, last=args.last
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit(table, args.out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML dashboard of the run archive."""
+    from repro.errors import StoreError
+    from repro.store import RunStore
+    from repro.store.report import build_report, default_goldens_dir
+
+    goldens = args.goldens if args.goldens is not None \
+        else default_goldens_dir()
+    try:
+        html_payload = build_report(RunStore(args.store), goldens)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as fh:
+        fh.write(html_payload)
+    print(f"dashboard written to {args.out}")
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -800,8 +1052,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON (same as "
                               "--format json)")
-    p_stats.add_argument("--format", choices=("table", "json"), default=None,
-                         help="output format (default table)")
+    p_stats.add_argument("--format", default=None, metavar="FMT",
+                         help="table or json (default table)")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_trace = sub.add_parser(
@@ -834,8 +1086,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--stage", default=None, metavar="NAME",
         help="only flows containing this stage; rank the top-K by its span",
     )
-    p_flows.add_argument("--format", choices=("table", "md", "json"),
-                         default="table")
+    p_flows.add_argument("--format", default="table", metavar="FMT",
+                         help="table, md or json (default table)")
     p_flows.add_argument("-o", "--out", default=None, metavar="PATH",
                          help="write the report here instead of stdout")
     p_flows.add_argument(
@@ -856,8 +1108,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run attacks across N worker processes (default 1; the "
              "ledger bytes are identical for any N)",
     )
-    p_audit.add_argument("--format", choices=("jsonl", "summary"),
-                         default="summary")
+    p_audit.add_argument("--format", default="summary", metavar="FMT",
+                         help="summary or jsonl (default summary)")
     p_audit.add_argument("-o", "--out", default=None, metavar="PATH",
                          help="write the ledger here instead of stdout")
     p_audit.set_defaults(func=_cmd_audit)
@@ -892,8 +1144,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0,
                          help="workload seed (same seed => identical JSON)")
-    p_serve.add_argument("--format", choices=("table", "json"),
-                         default="table")
+    p_serve.add_argument("--format", default="table", metavar="FMT",
+                         help="table or json (default table)")
     p_serve.add_argument("-o", "--out", default=None, metavar="PATH",
                          help="write the report here instead of stdout")
     p_serve.add_argument(
@@ -926,8 +1178,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=0,
                        help="workload seed (same seed => identical bytes)")
-        p.add_argument("--format", choices=("table", "json"),
-                       default="table")
+        p.add_argument("--format", default="table", metavar="FMT",
+                       help="table or json (default table)")
         p.add_argument("-o", "--out", default=None, metavar="PATH",
                        help="write the output here instead of stdout")
 
@@ -975,9 +1227,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument("--input-size", type=int, default=112)
     p_prof.add_argument(
-        "--format", choices=("table", "md", "json", "folded"),
-        default="table",
-        help="folded = flamegraph.pl folded stacks",
+        "--format", default="table", metavar="FMT",
+        help="table, md, json or folded (folded = flamegraph.pl "
+             "folded stacks; table/md/json with --diff)",
     )
     p_prof.add_argument("-o", "--out", default=None, metavar="PATH",
                         help="write the report here instead of stdout")
@@ -996,8 +1248,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bdiff = bench_sub.add_parser(
         "diff", help="compare two BENCH files; exit 1 on regression"
     )
-    p_bdiff.add_argument("old", help="baseline BENCH_*.json")
-    p_bdiff.add_argument("new", help="fresh BENCH_*.json")
+    p_bdiff.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="old new (pairwise diff), or one fresh file with --history",
+    )
     p_bdiff.add_argument(
         "--timing-tolerance", type=float, default=0.25, metavar="FRAC",
         help="relative tolerance for host-timing metrics (default 0.25)",
@@ -1006,7 +1260,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic-tolerance", type=float, default=0.0, metavar="FRAC",
         help="tolerance for simulated-cycle metrics (default 0: bit-exact)",
     )
+    p_bdiff.add_argument(
+        "--history", type=int, default=0, metavar="N",
+        help="also gate the fresh file against the median of the last N "
+             "archived runs of the same benchmark",
+    )
+    p_bdiff.add_argument(
+        "--bench-id", default=None, metavar="ID",
+        help="archive benchmark id (default: the file's bench_id field "
+             "or its BENCH_<id>.json stem)",
+    )
+    p_bdiff.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run archive (default $REPRO_STORE or "
+             "~/.cache/repro/runs.sqlite)",
+    )
     p_bdiff.set_defaults(func=_cmd_bench)
+
+    p_query = sub.add_parser(
+        "query",
+        help="query the run archive (canned queries or raw read-only SQL)",
+    )
+    p_query.add_argument(
+        "query", nargs="?", default=None,
+        help="canned query name (see --list) or a read-only SQL statement",
+    )
+    p_query.add_argument("--list", action="store_true",
+                         help="list the canned queries")
+    p_query.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run archive (default $REPRO_STORE or "
+             "~/.cache/repro/runs.sqlite)",
+    )
+    p_query.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="write the rows here instead of stdout")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="one metric's trend across archived runs",
+    )
+    p_hist.add_argument("metric",
+                        help="metric name (e.g. serve.completed or a "
+                             "bench metric)")
+    p_hist.add_argument("--last", type=int, default=None, metavar="N",
+                        help="only the most recent N archived values")
+    p_hist.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run archive (default $REPRO_STORE or "
+             "~/.cache/repro/runs.sqlite)",
+    )
+    p_hist.add_argument("-o", "--out", default=None, metavar="PATH",
+                        help="write the table here instead of stdout")
+    p_hist.set_defaults(func=_cmd_history)
+
+    p_report = sub.add_parser(
+        "report",
+        help="self-contained HTML dashboard of the run archive "
+             "(byte-deterministic, no JS)",
+    )
+    p_report.add_argument("-o", "--out", default="report.html",
+                          metavar="PATH",
+                          help="output file (default report.html)")
+    p_report.add_argument(
+        "--goldens", default=None, metavar="DIR",
+        help="golden-figure directory for the status section "
+             "(default tests/golden when present)",
+    )
+    p_report.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run archive (default $REPRO_STORE or "
+             "~/.cache/repro/runs.sqlite)",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_val = sub.add_parser(
         "validate", help="cross-check the analytic vs detailed timing paths"

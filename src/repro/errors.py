@@ -34,6 +34,12 @@ class ReconciliationError(ReproError):
     an acceptable rounding artifact."""
 
 
+class StoreError(ReproError):
+    """The persistent run archive is missing, unreadable, or was handed
+    invalid SQL.  The CLI maps this to exit code 2 (usage/environment
+    error) — never to a silent empty result."""
+
+
 class SecurityViolation(ReproError):
     """Base class for every blocked attack / rejected request.
 

@@ -35,8 +35,27 @@ from repro.experiments import export
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runner import ExperimentResult
 from repro.sim.worker import init_worker, seed_rngs, stable_seed
+from repro.store import ingest_quietly
+from repro.store.ingest import record_from_experiment
 
 PAYLOAD_VERSION = 1
+
+
+def _experiment_record(outcome: "ExperimentOutcome", profile: str):
+    """The golden-comparable archive row of one outcome (figure data
+    stripped of its metrics section, same shape as tests/golden)."""
+    payloads = []
+    for result in outcome.results:
+        payload = export.to_dict(result)
+        payload.pop("metrics", None)
+        payloads.append(payload)
+    return record_from_experiment(
+        exp_id=outcome.exp_id,
+        profile=profile,
+        seed=stable_seed(outcome.exp_id, profile),
+        figure_payload={"profile": profile, "results": payloads},
+        metrics=outcome.metrics,
+    )
 
 
 @dataclass
@@ -208,6 +227,13 @@ def run_parallel(
     if outdir:
         for outcome in ordered:
             _write_outdir(outdir, outcome)
+
+    # Archive every outcome into the run store from the *parent* process
+    # only, after schedule ordering: pool workers never touch the sqlite
+    # file (no contention) and the archived rows are the same for
+    # --jobs 1 and --jobs N (test_store_cli enforces byte-equality).
+    for outcome in ordered:
+        ingest_quietly(_experiment_record(outcome, profile))
 
     merged = telemetry.merge_snapshots(o.metrics for o in ordered)
     if telemetry.metrics.enabled:

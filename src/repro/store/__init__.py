@@ -1,0 +1,32 @@
+"""Persistent run archive: the unified read side of the telemetry stack.
+
+``repro.store`` archives one deterministic row set per run (see
+:mod:`repro.store.store` for the determinism contract), and layers the
+cross-run tooling on top:
+
+* :mod:`repro.store.ingest` — per-verb :class:`RunRecord` builders.
+* :mod:`repro.store.queries` — canned queries + raw read-only SQL.
+* :mod:`repro.store.report` — the byte-deterministic HTML dashboard.
+"""
+
+from repro.store.store import (
+    RunRecord,
+    RunStore,
+    canon,
+    default_store_path,
+    flatten_metrics,
+    ingest_quietly,
+    numeric,
+    run_key,
+)
+
+__all__ = [
+    "RunRecord",
+    "RunStore",
+    "canon",
+    "default_store_path",
+    "flatten_metrics",
+    "ingest_quietly",
+    "numeric",
+    "run_key",
+]

@@ -1,0 +1,134 @@
+"""Canned queries + raw read-only SQL over the run archive.
+
+``repro query <name-or-sql>``: a handful of curated questions the
+archive exists to answer, plus an escape hatch for arbitrary *read-only*
+SQL (the store opens the database ``mode=ro``, so a stray ``DELETE``
+fails at the sqlite layer, not by pattern-matching the query text).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.store.store import RunStore, numeric
+
+#: name -> (description, SQL).  Every canned query is plain SQL over the
+#: documented schema, so each doubles as an example for raw queries.
+CANNED: Dict[str, Tuple[str, str]] = {
+    "runs": (
+        "every archived run (verb, experiment, protection, seed)",
+        "SELECT il.seq, r.verb, r.experiment, r.protection, r.seed,"
+        " substr(r.run_id, 1, 8) AS run FROM runs r"
+        " JOIN (SELECT run_id, MAX(seq) AS seq FROM ingest_log"
+        " GROUP BY run_id) il ON il.run_id = r.run_id ORDER BY il.seq",
+    ),
+    "top-regressions": (
+        "bench metrics whose latest archived value moved most vs the"
+        " previous archive of the same metric (positive pct = grew)",
+        "WITH ordered AS ("
+        " SELECT b.name, b.value, il.seq,"
+        "  ROW_NUMBER() OVER (PARTITION BY b.name ORDER BY il.seq DESC)"
+        "  AS rn"
+        " FROM bench_metrics b"
+        " JOIN (SELECT run_id, MAX(seq) AS seq FROM ingest_log"
+        "  GROUP BY run_id) il ON il.run_id = b.run_id)"
+        " SELECT cur.name,"
+        "  CAST(prev.value AS REAL) AS previous,"
+        "  CAST(cur.value AS REAL) AS latest,"
+        "  ROUND((CAST(cur.value AS REAL) - CAST(prev.value AS REAL))"
+        "   / CAST(prev.value AS REAL) * 100.0, 2) AS pct"
+        " FROM ordered cur JOIN ordered prev"
+        "  ON prev.name = cur.name AND prev.rn = 2"
+        " WHERE cur.rn = 1 AND CAST(prev.value AS REAL) != 0"
+        " ORDER BY pct DESC, cur.name",
+    ),
+    "deny-history": (
+        "audit deny counts per kind across every archived audit run",
+        "SELECT il.seq, r.experiment, r.protection, a.kind, a.denies"
+        " FROM audit_summary a JOIN runs r ON r.run_id = a.run_id"
+        " JOIN (SELECT run_id, MAX(seq) AS seq FROM ingest_log"
+        " GROUP BY run_id) il ON il.run_id = r.run_id"
+        " WHERE a.denies > 0 ORDER BY il.seq, a.kind",
+    ),
+    "p99-by-tenant": (
+        "per-tenant p99 latency + SLA attainment of every serving run",
+        "SELECT il.seq, r.experiment, r.seed, t.tenant,"
+        " CAST(t.p99_ms AS REAL) AS p99_ms,"
+        " CAST(t.sla_attainment AS REAL) AS sla"
+        " FROM tenants t JOIN runs r ON r.run_id = t.run_id"
+        " JOIN (SELECT run_id, MAX(seq) AS seq FROM ingest_log"
+        " GROUP BY run_id) il ON il.run_id = r.run_id"
+        " ORDER BY il.seq, r.experiment, t.tenant",
+    ),
+    "detections": (
+        "attack detection latencies (blocked + detected verdicts)",
+        "SELECT r.protection AS matrix, a.protection, a.attack, a.outcome,"
+        " a.blocked_by, a.detection_latency"
+        " FROM attacks a JOIN runs r ON r.run_id = a.run_id"
+        " ORDER BY a.protection, a.attack",
+    ),
+}
+
+
+def run_query(
+    store: RunStore, text: str, params: Sequence[Any] = ()
+) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+    """Resolve *text* as a canned-query name, else raw SQL."""
+    if text in CANNED:
+        return store.query(CANNED[text][1])
+    return store.query(text, params)
+
+
+def format_rows(
+    columns: List[str], rows: List[Tuple[Any, ...]]
+) -> str:
+    """Deterministic aligned-column rendering (+ a row-count footer)."""
+    if not rows:
+        return "(0 rows)\n"
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(row[i]) for row in cells))
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def history_table(
+    store: RunStore, metric: str, last: Optional[int] = None
+) -> str:
+    """``repro history <metric>``: the metric's archived trajectory."""
+    points = store.metric_history(metric, last=last)
+    if not points:
+        return f"no archived runs carry metric {metric!r}\n"
+    columns = ["seq", "verb", "experiment", "protection", "seed", metric]
+    rows = [
+        (p["seq"], p["verb"], p["experiment"], p["protection"], p["seed"],
+         p["value"])
+        for p in points
+    ]
+    values = [v for v in (numeric(p["value"]) for p in points)
+              if v is not None]
+    table = format_rows(columns, rows)
+    if len(values) >= 2:
+        first, latest = values[0], values[-1]
+        drift = ((latest - first) / first * 100.0) if first else float("inf")
+        table += (
+            f"trend: first {first:g} -> latest {latest:g} "
+            f"({drift:+.1f}% over {len(values)} runs)\n"
+        )
+    return table

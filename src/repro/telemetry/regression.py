@@ -20,6 +20,7 @@ compared as timing metrics for any key that looks numeric.
 from __future__ import annotations
 
 import json
+import statistics
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -190,6 +191,54 @@ def compare_bench(
             sorted(set(new_metrics) - set(old_metrics))
         )
     return comparison
+
+
+def median_baseline(
+    histories: List[Dict[str, Dict[str, float]]],
+) -> Dict[str, Any]:
+    """Fold N archived bench runs into one median-per-metric baseline.
+
+    *histories* is what :meth:`repro.store.RunStore.bench_history`
+    returns: one ``{"deterministic": {...}, "timing": {...}}`` sections
+    dict per archived run, oldest first.  A metric only enters the
+    baseline if at least one run carries it; the median is over the runs
+    that do — a metric added mid-history is gated against the runs that
+    know it, not failed for predating itself.
+    """
+    sections: Dict[str, Dict[str, float]] = {
+        "deterministic": {}, "timing": {},
+    }
+    samples: Dict[str, Dict[str, List[float]]] = {
+        "deterministic": {}, "timing": {},
+    }
+    for history in histories:
+        for kind in ("deterministic", "timing"):
+            for name, value in (history.get(kind) or {}).items():
+                samples[kind].setdefault(name, []).append(float(value))
+    for kind in ("deterministic", "timing"):
+        for name, values in samples[kind].items():
+            sections[kind][name] = statistics.median(values)
+    return {"metrics": sections}
+
+
+def compare_bench_history(
+    histories: List[Dict[str, Dict[str, float]]],
+    new: Dict[str, Any],
+    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+    deterministic_tolerance: float = 0.0,
+) -> BenchComparison:
+    """Gate *new* against the median of N archived runs.
+
+    Turns the point check (one committed baseline) into a trajectory
+    check: a regression must beat the *typical* recent run, so a single
+    lucky (or unlucky) archived run can neither mask nor fake one.
+    """
+    return compare_bench(
+        median_baseline(histories),
+        new,
+        timing_tolerance=timing_tolerance,
+        deterministic_tolerance=deterministic_tolerance,
+    )
 
 
 def compare_bench_files(

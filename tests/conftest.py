@@ -35,6 +35,18 @@ def update_goldens(request) -> bool:
     return bool(request.config.getoption("--update-goldens"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path, monkeypatch):
+    """Point the persistent run archive at a per-test scratch file.
+
+    Every CLI verb ingests into ``$REPRO_STORE`` as a side effect; tests
+    must never write the user's real archive, and store-reading tests
+    need a clean slate.
+    """
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "runs.sqlite"))
+    yield
+
+
 @pytest.fixture
 def config() -> NPUConfig:
     return NPUConfig.paper_default()
