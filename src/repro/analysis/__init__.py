@@ -21,4 +21,25 @@ __all__ = [
     "tcb_report",
     "TCBComponent",
     "count_package_loc",
+    "Diagnosis",
+    "DiagnosisPart",
+    "diagnose_profiles",
+    "diagnose_serve",
+    "diagnose_archived",
+    "diagnose_bench",
 ]
+
+_DIAGNOSE = {
+    "Diagnosis", "DiagnosisPart", "diagnose_profiles", "diagnose_serve",
+    "diagnose_archived", "diagnose_bench",
+}
+
+
+def __getattr__(name):
+    # Lazy: repro.analysis.diagnose pulls in the store layer, which the
+    # static analyses above don't need.
+    if name in _DIAGNOSE:
+        from repro.analysis import diagnose
+
+        return getattr(diagnose, name)
+    raise AttributeError(name)

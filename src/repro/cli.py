@@ -859,8 +859,158 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"bench history gate: median of last {len(histories)} "
               f"archived {bench_id!r} run(s) -> {new_path}")
         print(comparison.format_table(), end="")
+        if not comparison.ok:
+            # A failed gate explains itself: attach the exact
+            # decomposition of new-vs-median so the culprit metric is
+            # named, not just flagged.
+            from repro.analysis.diagnose import diagnose_bench
+
+            diagnosis = diagnose_bench(
+                histories, payload, bench_id, comparison=comparison
+            )
+            print()
+            print(diagnosis.render("table"), end="")
         ok = ok and comparison.ok
     return 0 if ok else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    """Explain the delta between two runs as an exact decomposition.
+
+    Three pair sources share one engine (``repro.analysis.diagnose``):
+    two archived run ids; one fresh BENCH_*.json vs the median of its
+    archived history (``--history N``); or two live configurations run
+    back-to-back (``repro diagnose fig13 --a snpu --b trustzone``).
+    """
+    from repro.errors import StoreError
+
+    targets = list(args.targets)
+    live = args.side_a is not None or args.side_b is not None
+    try:
+        if len(targets) == 2 and not live:
+            from repro.analysis.diagnose import diagnose_archived
+            from repro.store import RunStore
+
+            diagnosis = diagnose_archived(
+                RunStore(args.store), targets[0], targets[1]
+            )
+        elif len(targets) == 1 and targets[0].endswith(".json"):
+            diagnosis = _diagnose_bench_file(args, targets[0])
+        elif len(targets) == 1 and live:
+            if args.side_a is None or args.side_b is None:
+                print("live diagnose needs both --a and --b",
+                      file=sys.stderr)
+                return 2
+            diagnosis = _diagnose_live(args, targets[0])
+        else:
+            print(
+                "diagnose takes two archived run ids, one BENCH_*.json "
+                "with --history N, or one model/scenario/fig13 with "
+                "--a and --b",
+                file=sys.stderr,
+            )
+            return 2
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if diagnosis is None:
+        return 2
+    payload = _format_payload(args.format, {
+        fmt: (lambda f=fmt: diagnosis.render(f))
+        for fmt in ("table", "md", "json")
+    })
+    if payload is None:
+        return 2
+    _emit(payload, args.out)
+    return 0
+
+
+def _diagnose_bench_file(args: argparse.Namespace, path: str):
+    """Bench mode: fresh BENCH file vs its archived history median."""
+    from repro.analysis.diagnose import diagnose_bench
+    from repro.store import RunStore
+
+    if not args.history:
+        print("diagnosing a bench file needs --history N", file=sys.stderr)
+        return None
+    if not os.path.exists(path):
+        print(f"no such bench file {path!r}", file=sys.stderr)
+        return None
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"cannot read bench file {path!r}: {exc}", file=sys.stderr)
+        return None
+    bench_id = args.bench_id or _bench_id_of(path, payload)
+    histories = RunStore(args.store).bench_history(
+        bench_id, last=args.history
+    )
+    if not histories:
+        print(f"no archived runs of benchmark {bench_id!r} to diagnose "
+              f"against (run benchmarks/bench_{bench_id}.py first)",
+              file=sys.stderr)
+        return None
+    return diagnose_bench(histories, payload, bench_id)
+
+
+def _diagnose_live(args: argparse.Namespace, target: str):
+    """Live mode: run both configurations back-to-back, then diagnose.
+
+    A serving scenario name compares two mechanisms; a zoo model (or the
+    ``fig13`` alias, which profiles resnet) compares two protections.
+    """
+    from repro.serving.workload import SCENARIOS
+
+    if target in SCENARIOS:
+        from repro.analysis.diagnose import diagnose_serve
+        from repro.serving.queueing import MECHANISMS, ServeSimulator
+        from repro.serving.report import ServeReport
+
+        for side in (args.side_a, args.side_b):
+            if side not in MECHANISMS:
+                print(f"unknown mechanism {side!r}; choose from "
+                      f"{', '.join(MECHANISMS)}", file=sys.stderr)
+                return None
+        scenario = SCENARIOS[target]
+        reports = []
+        for mechanism in (args.side_a, args.side_b):
+            with telemetry.scoped(trace=False, profile=False, flow=True):
+                outcome = ServeSimulator(
+                    scenario, mechanism=mechanism, policy=args.policy,
+                    rps=args.rps, duration_ms=args.duration, seed=args.seed,
+                ).run()
+            reports.append(ServeReport.build(outcome, scenario=scenario))
+        return diagnose_serve(reports[0], reports[1])
+
+    from repro.analysis.diagnose import diagnose_profiles
+    from repro.analysis.profile import profile_model
+
+    model_name = "resnet" if target == "fig13" else target
+    model = _resolve_model(model_name, args.input_size)
+    if model is None:
+        print(f"unknown diagnose target {target!r}; choose a model "
+              f"({', '.join(zoo.MODEL_BUILDERS)}), a serving scenario "
+              f"({', '.join(sorted(SCENARIOS))}) or fig13", file=sys.stderr)
+        return None
+    profiles = []
+    for side in (args.side_a, args.side_b):
+        protection = "none" if side == "baseline" else side
+        if protection not in ("none", "trustzone", "snpu"):
+            print(f"unknown protection {side!r}; choose baseline, none, "
+                  f"trustzone or snpu", file=sys.stderr)
+            return None
+        profiles.append(profile_model(
+            model, protection=protection, detailed=not args.analytic,
+            secure=args.secure and protection != "none",
+        ))
+    diagnosis = diagnose_profiles(profiles[0], profiles[1])
+    if target == "fig13":
+        diagnosis.notes.append(
+            "fig13 alias: resnet profiled under each protection (the "
+            "mechanism-overhead comparison behind the paper's Fig. 13)"
+        )
+    return diagnosis
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -910,7 +1060,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     goldens = args.goldens if args.goldens is not None \
         else default_goldens_dir()
     try:
-        html_payload = build_report(RunStore(args.store), goldens)
+        html_payload = build_report(
+            RunStore(args.store), goldens, compare=args.compare
+        )
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1277,6 +1429,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bdiff.set_defaults(func=_cmd_bench)
 
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="explain the delta between two runs "
+             "(exact cross-run decomposition + ranked verdicts)",
+    )
+    p_diag.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="two archived run ids; or one BENCH_*.json with --history N; "
+             "or one model/scenario/fig13 with --a and --b",
+    )
+    p_diag.add_argument(
+        "--a", dest="side_a", default=None, metavar="CONFIG",
+        help="left-hand live config (protection for models, mechanism "
+             "for scenarios)",
+    )
+    p_diag.add_argument(
+        "--b", dest="side_b", default=None, metavar="CONFIG",
+        help="right-hand live config (protection for models, mechanism "
+             "for scenarios)",
+    )
+    p_diag.add_argument(
+        "--history", type=int, default=0, metavar="N",
+        help="bench mode: diagnose against the median of the last N "
+             "archived runs of the same benchmark",
+    )
+    p_diag.add_argument(
+        "--bench-id", default=None, metavar="ID",
+        help="archive benchmark id (default: the file's bench_id field "
+             "or its BENCH_<id>.json stem)",
+    )
+    p_diag.add_argument("--input-size", type=int, default=112)
+    p_diag.add_argument(
+        "--analytic", action="store_true",
+        help="profile the model sides analytically (default: detailed)",
+    )
+    p_diag.add_argument("--secure", action="store_true")
+    p_diag.add_argument(
+        "--policy", choices=POLICIES, default="rr",
+        help="dispatch policy for scenario sides (default rr)",
+    )
+    p_diag.add_argument("--rps", type=float, default=None, metavar="R",
+                        help="request rate for scenario sides")
+    p_diag.add_argument("--duration", type=float, default=None,
+                        metavar="MS",
+                        help="admission window for scenario sides")
+    p_diag.add_argument("--seed", type=int, default=0,
+                        help="seed for live sides (same seed => "
+                             "byte-identical diagnosis)")
+    p_diag.add_argument("--format", default="table", metavar="FMT",
+                        help="table, md or json (default table)")
+    p_diag.add_argument("-o", "--out", default=None, metavar="PATH",
+                        help="write the diagnosis here instead of stdout")
+    p_diag.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run archive (default $REPRO_STORE or "
+             "~/.cache/repro/runs.sqlite)",
+    )
+    p_diag.set_defaults(func=_cmd_diagnose)
+
     p_query = sub.add_parser(
         "query",
         help="query the run archive (canned queries or raw read-only SQL)",
@@ -1331,6 +1542,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="PATH",
         help="run archive (default $REPRO_STORE or "
              "~/.cache/repro/runs.sqlite)",
+    )
+    p_report.add_argument(
+        "--compare", nargs=2, default=None, metavar=("RUN_A", "RUN_B"),
+        help="pin the run-comparison page to these two archived run ids "
+             "(default: every comparable pair, capped)",
     )
     p_report.set_defaults(func=_cmd_report)
 

@@ -40,6 +40,12 @@ class StoreError(ReproError):
     error) — never to a silent empty result."""
 
 
+class DiagnosisError(ReproError):
+    """A cross-run diagnosis broke its exactness invariant: the
+    decomposed parts failed to sum bit-for-bit to the end-to-end delta.
+    Always an attribution bug, never an acceptable rounding artifact."""
+
+
 class SecurityViolation(ReproError):
     """Base class for every blocked attack / rejected request.
 

@@ -238,3 +238,50 @@ class ServeReport:
             f"({self.world_share:.2%}); makespan {self.makespan_ms:.1f} ms"
         )
         return "\n".join(lines) + "\n"
+
+
+def diff_tenant_reports(
+    a: "ServeReport", b: "ServeReport"
+) -> List[Dict[str, Any]]:
+    """Per-tenant p99/SLA deltas between two serve reports.
+
+    None-safe: a tenant with no completions on one side keeps its None
+    percentiles and reports a None delta — a fabricated 0.0 ms baseline
+    would invert the sign of every comparison against it.  Rows are
+    sorted by tenant name; only tenants present in at least one report
+    appear.
+    """
+    names = sorted(
+        {t.tenant for t in a.tenants} | {t.tenant for t in b.tenants}
+    )
+
+    def lookup(report: "ServeReport", name: str) -> Optional[TenantReport]:
+        try:
+            return report.tenant(name)
+        except KeyError:
+            return None
+
+    def delta(x: Optional[float], y: Optional[float]) -> Optional[float]:
+        if x is None or y is None:
+            return None
+        return y - x
+
+    rows: List[Dict[str, Any]] = []
+    for name in names:
+        ta, tb = lookup(a, name), lookup(b, name)
+        p99_a = ta.p99_ms if ta else None
+        p99_b = tb.p99_ms if tb else None
+        sla_a = ta.sla_attainment if ta else None
+        sla_b = tb.sla_attainment if tb else None
+        rows.append({
+            "tenant": name,
+            "n_a": ta.n if ta else 0,
+            "n_b": tb.n if tb else 0,
+            "p99_ms_a": p99_a,
+            "p99_ms_b": p99_b,
+            "p99_ms_delta": delta(p99_a, p99_b),
+            "sla_a": sla_a,
+            "sla_b": sla_b,
+            "sla_delta": delta(sla_a, sla_b),
+        })
+    return rows

@@ -94,8 +94,14 @@ def record_from_serve(
     metrics: Dict[str, Any] = {
         "serve.completed": len(out.completed),
         "serve.makespan_ms": report.makespan_ms,
+        "serve.makespan_cycles": out.makespan,
         "serve.flushes": out.flushes,
         "serve.flush_share": report.flush_share,
+        # The exact busy-cycle decomposition (service + flush + world)
+        # that `repro diagnose` rebuilds for archived serve pairs.
+        "serve.service_cycles": out.service_cycles,
+        "serve.flush_cycles": out.flush_cycles,
+        "serve.world_cycles": out.world_cycles,
         "serve.world_switches": out.world_switches,
         "serve.world_switch_share": report.world_share,
     }

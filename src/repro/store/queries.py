@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import StoreError
 from repro.store.store import RunStore, numeric
 
 #: name -> (description, SQL).  Every canned query is plain SQL over the
@@ -67,6 +68,55 @@ CANNED: Dict[str, Tuple[str, str]] = {
         " FROM attacks a JOIN runs r ON r.run_id = a.run_id"
         " ORDER BY a.protection, a.attack",
     ),
+    "slo-burn": (
+        "per-run SLO alert counts + worst burn window (tenant with the"
+        " most unresolved alerts, first->last unresolved cycle)",
+        "WITH il AS (SELECT run_id, MAX(seq) AS seq FROM ingest_log"
+        "  GROUP BY run_id),"
+        " per_tenant AS ("
+        "  SELECT run_id, tenant,"
+        "   SUM(CASE WHEN state != 'resolved' THEN 1 ELSE 0 END) AS burn"
+        "  FROM slo_alerts GROUP BY run_id, tenant),"
+        " worst AS ("
+        "  SELECT run_id, tenant, burn,"
+        "   ROW_NUMBER() OVER (PARTITION BY run_id"
+        "    ORDER BY burn DESC, tenant) AS rn"
+        "  FROM per_tenant)"
+        " SELECT il.seq, r.experiment, r.protection, r.seed,"
+        "  COUNT(*) AS alerts,"
+        "  SUM(CASE WHEN s.state = 'firing' THEN 1 ELSE 0 END) AS firing,"
+        "  SUM(CASE WHEN s.state = 'BREACH' THEN 1 ELSE 0 END) AS breaches,"
+        "  MIN(CASE WHEN s.state != 'resolved'"
+        "   THEN CAST(s.cycle AS REAL) END) AS burn_start_cycle,"
+        "  MAX(CASE WHEN s.state != 'resolved'"
+        "   THEN CAST(s.cycle AS REAL) END) AS burn_end_cycle,"
+        "  w.tenant AS worst_tenant, w.burn AS worst_tenant_alerts"
+        " FROM slo_alerts s"
+        " JOIN runs r ON r.run_id = s.run_id"
+        " JOIN il ON il.run_id = r.run_id"
+        " JOIN worst w ON w.run_id = s.run_id AND w.rn = 1"
+        " GROUP BY s.run_id"
+        " ORDER BY il.seq, r.experiment, r.protection",
+    ),
+    "diagnose-pairs": (
+        "archived run pairs worth `repro diagnose`-ing: same verb,"
+        " experiment and seed, differing protection or source digest",
+        "SELECT a.verb, a.experiment, a.seed,"
+        " substr(a.run_id, 1, 8) AS run_a, a.protection AS prot_a,"
+        " substr(b.run_id, 1, 8) AS run_b, b.protection AS prot_b,"
+        " CASE"
+        "  WHEN a.protection != b.protection"
+        "   AND a.source_digest != b.source_digest"
+        "   THEN 'protection+source'"
+        "  WHEN a.protection != b.protection THEN 'protection'"
+        "  ELSE 'source' END AS differs"
+        " FROM runs a JOIN runs b"
+        "  ON a.verb = b.verb AND a.experiment = b.experiment"
+        "  AND a.seed = b.seed AND a.run_id < b.run_id"
+        " WHERE a.protection != b.protection"
+        "  OR a.source_digest != b.source_digest"
+        " ORDER BY a.verb, a.experiment, a.seed, run_a, run_b",
+    ),
 }
 
 
@@ -111,10 +161,20 @@ def _cell(value: Any) -> str:
 def history_table(
     store: RunStore, metric: str, last: Optional[int] = None
 ) -> str:
-    """``repro history <metric>``: the metric's archived trajectory."""
+    """``repro history <metric>``: the metric's archived trajectory.
+
+    A metric no archived run carries raises :class:`StoreError` (CLI
+    exit 2, one line on stderr) — the same bad-input contract as
+    ``repro query``, because an empty table exiting 0 reads as "the
+    metric never moved" when it actually means "you typo'd the name".
+    """
     points = store.metric_history(metric, last=last)
     if not points:
-        return f"no archived runs carry metric {metric!r}\n"
+        raise StoreError(
+            f"no archived runs carry metric {metric!r} "
+            f"(list names with: repro query "
+            f"\"SELECT DISTINCT name FROM metrics\")"
+        )
     columns = ["seq", "verb", "experiment", "protection", "seed", metric]
     rows = [
         (p["seq"], p["verb"], p["experiment"], p["protection"], p["seed"],

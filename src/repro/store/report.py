@@ -67,6 +67,9 @@ body {
 main { max-width: 980px; margin: 0 auto; }
 h1 { font-size: 22px; margin: 0 0 4px; }
 h2 { font-size: 16px; margin: 28px 0 8px; }
+h3 { font-size: 14px; margin: 18px 0 6px; }
+ul.verdicts { margin: 6px 0 0; padding-left: 20px; font-size: 13px; }
+ul.verdicts li { margin: 2px 0; }
 p.sub { color: var(--text-secondary); margin: 0 0 16px; }
 section {
   background: var(--surface-1); border: 1px solid var(--border);
@@ -476,9 +479,94 @@ def _bench_section(store: RunStore) -> str:
     )
 
 
+#: Without ``--compare``, the comparison page renders at most this many
+#: auto-discovered pairs (comparable_pairs order is deterministic, so
+#: the cap always keeps the same ones).
+MAX_COMPARISONS = 4
+
+
+def _diagnosis_block(diagnosis: Any) -> str:
+    """One diagnosis as an HTML sub-block (heading, exact-parts table,
+    verdict list) — byte-deterministic because the diagnosis itself is."""
+    rows = []
+    for part in diagnosis.ranked():
+        share = diagnosis.share(part)
+        if share is None:
+            share_cell = "-"
+        else:
+            share_cell = f"{share_bar(abs(float(share)))} {float(share):+.1%}"
+        rows.append((
+            _esc(part.name),
+            _fmt(float(part.a)),
+            _fmt(float(part.b)),
+            _fmt(float(part.delta)),
+            share_cell,
+        ))
+    table = _table(
+        [("part", False), ("a", True), ("b", True), ("delta", True),
+         ("share of delta", False)],
+        rows,
+    )
+    delta = diagnosis.total_delta
+    total_a = diagnosis.total_a
+    pct = f" ({float(delta / total_a):+.1%})" if total_a else ""
+    verdicts = "".join(
+        f"<li>{_esc(v)}</li>" for v in diagnosis.verdicts()
+    )
+    return (
+        f"<h3>{_esc(diagnosis.label_a)} vs {_esc(diagnosis.label_b)}</h3>"
+        f'<p class="sub">{_esc(diagnosis.kind)} delta '
+        f"{_fmt(float(total_a))} -&gt; {_fmt(float(diagnosis.total_b))} "
+        f"{_esc(diagnosis.unit)}: {_fmt(float(delta))}{_esc(pct)} · "
+        "parts sum exactly to the end-to-end delta</p>"
+        f"{table}<ul class=\"verdicts\">{verdicts}</ul>"
+    )
+
+
+def _comparison_section(
+    store: RunStore, compare: Optional[Sequence[str]] = None
+) -> str:
+    # Lazy: the diagnosis engine imports the analysis layer, which the
+    # rest of the dashboard doesn't need.
+    from repro.analysis.diagnose import diagnose_archived
+    from repro.errors import StoreError
+
+    if compare:
+        pairs = [(compare[0], compare[1])]
+        sub = "pinned pair (repro report --compare RUN_A RUN_B)"
+    else:
+        pairs = [
+            (a["run_id"], b["run_id"])
+            for a, b in store.comparable_pairs()[:MAX_COMPARISONS]
+        ]
+        sub = (
+            "auto-discovered archived pairs (same verb, experiment and "
+            f"seed; differing protection or source), first {MAX_COMPARISONS}"
+        )
+    blocks = []
+    for id_a, id_b in pairs:
+        try:
+            diagnosis = diagnose_archived(store, id_a, id_b)
+        except StoreError as exc:
+            blocks.append(_empty(f"{id_a[:8]} vs {id_b[:8]}: {exc}"))
+            continue
+        blocks.append(_diagnosis_block(diagnosis))
+    if not blocks:
+        blocks.append(_empty(
+            "no comparable run pairs (archive the same experiment under "
+            "two protections, or pin ids with --compare)"
+        ))
+    return _section(
+        "Run comparison", sub + " · exact delta attribution, ranked by "
+        "|delta| (repro diagnose renders the same decomposition)",
+        "".join(blocks),
+    )
+
+
 # ----------------------------------------------------------------------
 def build_report(
-    store: RunStore, goldens_dir: Optional[str] = None
+    store: RunStore, goldens_dir: Optional[str] = None,
+    compare: Optional[Sequence[str]] = None,
 ) -> str:
     """Render the full dashboard (raises StoreError on a missing store)."""
     latest = store.latest_runs()
@@ -489,6 +577,7 @@ def build_report(
         _alerts_section(store, latest),
         _attacks_section(store, latest),
         _bench_section(store),
+        _comparison_section(store, compare),
     ]
     n_runs = len(store.runs_by_recency())
     return (

@@ -438,6 +438,52 @@ class RunStore:
         return sorted(latest.values(), key=lambda r: (
             r["verb"], r["experiment"], r["protection"], r["seed"]))
 
+    def resolve_run(self, run_id: str) -> Dict[str, Any]:
+        """Resolve a (possibly abbreviated) run id to its archived row.
+
+        Raises :class:`StoreError` for an unknown or ambiguous prefix —
+        the exit-2 contract ``repro diagnose`` leans on."""
+        matches = [
+            run for run in self.runs_by_recency()
+            if run["run_id"].startswith(run_id)
+        ]
+        if not matches:
+            raise StoreError(
+                f"no archived run matches id {run_id!r} "
+                f"(list candidates with: repro query runs)"
+            )
+        if len(matches) > 1:
+            ids = ", ".join(sorted(r["run_id"][:8] for r in matches))
+            raise StoreError(
+                f"run id {run_id!r} is ambiguous ({len(matches)} matches: "
+                f"{ids})"
+            )
+        return matches[0]
+
+    def comparable_pairs(
+        self,
+    ) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Archived run pairs worth diagnosing: same verb, experiment
+        and seed, but a differing protection or source digest.  Order is
+        deterministic (grouped by key, then protection/digest/run_id) —
+        the report's comparison page and the ``diagnose-pairs`` canned
+        query walk the same pairs."""
+        groups: Dict[Tuple[str, str, str], List[Dict[str, Any]]] = {}
+        for run in self.runs_by_recency():
+            key = (run["verb"], run["experiment"], str(run["seed"]))
+            groups.setdefault(key, []).append(run)
+        pairs: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        for key in sorted(groups):
+            runs = sorted(groups[key], key=lambda r: (
+                r["protection"], r["source_digest"], r["run_id"]))
+            for i, run_a in enumerate(runs):
+                for run_b in runs[i + 1:]:
+                    if (run_a["protection"] != run_b["protection"]
+                            or run_a["source_digest"]
+                            != run_b["source_digest"]):
+                        pairs.append((run_a, run_b))
+        return pairs
+
     def children(
         self, table: str, run_id: str
     ) -> List[Dict[str, Any]]:

@@ -96,6 +96,19 @@ class BenchComparison:
     def ok(self) -> bool:
         return not self.regressions and not self.missing
 
+    def summary(self) -> str:
+        """One-line verdict — shared by :meth:`format_table` and the
+        diagnosis a failed ``--history`` gate attaches."""
+        if self.ok:
+            return "OK: no regressions"
+        return (
+            f"FAIL: {len(self.regressions)} regression(s)"
+            + (
+                f", {len(self.missing)} missing metric(s)"
+                if self.missing else ""
+            )
+        )
+
     def format_table(self) -> str:
         lines = []
         width = max((len(d.name) for d in self.deltas), default=8)
@@ -118,12 +131,7 @@ class BenchComparison:
             lines.append(f"  {name.ljust(width)}  MISSING from new file")
         for name in self.added:
             lines.append(f"  {name.ljust(width)}  (new metric)")
-        verdict = (
-            "OK: no regressions"
-            if self.ok
-            else f"FAIL: {len(self.regressions)} regression(s)"
-            + (f", {len(self.missing)} missing metric(s)" if self.missing else "")
-        )
+        verdict = self.summary()
         header = (
             f"  {'metric'.ljust(width)}  {'old':>14}  {'new':>14}  "
             f"{'change':>8}"

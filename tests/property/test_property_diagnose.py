@@ -1,0 +1,147 @@
+"""Property tests for the diagnosis exactness invariant.
+
+Acceptance criterion of ``repro diagnose``: for every zoo workload pair
+of protection modes, the diagnosis's parts sum **Fraction-exact** to the
+end-to-end delta (``sum(parts) == total_b - total_a``, bit-for-bit), the
+JSON rendering is byte-deterministic, and random synthetic part sets can
+never construct a diagnosis that silently violates the invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnose import (
+    Diagnosis,
+    DiagnosisPart,
+    diagnose_profiles,
+    diagnose_serve,
+)
+from repro.analysis.profile import profile_model
+from repro.errors import DiagnosisError
+from repro.serving.report import ServeReport
+from repro.serving.queueing import ServeSimulator
+from repro.serving.workload import SCENARIOS
+from repro.workloads import zoo
+from repro import telemetry
+
+ZERO = Fraction(0)
+
+WORKLOADS = sorted(zoo.MODEL_BUILDERS)
+PROTECTIONS = ("none", "trustzone", "snpu")
+PAIRS = list(itertools.combinations(PROTECTIONS, 2))
+
+
+def _build(model_name):
+    if model_name in ("bert", "gpt"):
+        # The zoo "tiny" profile: seq_len=64, two transformer layers.
+        return zoo.MODEL_BUILDERS[model_name](64, 2)
+    return zoo.MODEL_BUILDERS[model_name](56)
+
+
+def _profile(model_name, protection):
+    # Analytic mode keeps the full matrix fast; the attribution suite
+    # already proves analytic == detailed for the category totals.
+    return profile_model(_build(model_name), protection=protection,
+                         detailed=False)
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=lambda p: f"{p[0]}-vs-{p[1]}")
+@pytest.mark.parametrize("model_name", WORKLOADS)
+def test_profile_diagnosis_sums_exactly(model_name, pair):
+    a = _profile(model_name, pair[0])
+    b = _profile(model_name, pair[1])
+    diagnosis = diagnose_profiles(a, b)
+    # verify() ran inside the builder; re-assert the invariant from the
+    # outside so a future refactor can't quietly drop the check.
+    assert sum((p.delta for p in diagnosis.parts), ZERO) \
+        == diagnosis.total_b - diagnosis.total_a
+    assert diagnosis.total_a == a.total
+    assert diagnosis.total_b == b.total
+    # Same pair diagnosed twice renders byte-identically.
+    assert diagnosis.to_json() == diagnose_profiles(a, b).to_json()
+
+
+@pytest.mark.parametrize("model_name", WORKLOADS)
+def test_self_diagnosis_is_all_zero(model_name):
+    profile = _profile(model_name, "snpu")
+    diagnosis = diagnose_profiles(profile, profile)
+    assert diagnosis.total_delta == ZERO
+    assert all(p.delta == ZERO for p in diagnosis.parts)
+    assert diagnosis.verdicts() == [
+        f"no delta: {diagnosis.label_b} matches {diagnosis.label_a} exactly"
+    ]
+
+
+@pytest.mark.parametrize("mechanisms", [("snpu", "flush-layer"),
+                                        ("partition", "flush-tile")])
+def test_serve_diagnosis_sums_exactly(mechanisms):
+    scenario = SCENARIOS["default"]
+    reports = []
+    for mechanism in mechanisms:
+        with telemetry.scoped(trace=False, profile=False, flow=True):
+            outcome = ServeSimulator(
+                scenario, mechanism=mechanism, policy="rr",
+                rps=200.0, duration_ms=30.0, seed=7,
+            ).run()
+        reports.append(ServeReport.build(outcome, scenario=scenario))
+    diagnosis = diagnose_serve(*reports)
+    assert sum((p.delta for p in diagnosis.parts), ZERO) \
+        == diagnosis.total_delta
+    assert diagnosis.to_json() == diagnose_serve(*reports).to_json()
+
+
+# ----------------------------------------------------------------------
+# Synthetic parts: hypothesis can't break the invariant machinery
+# ----------------------------------------------------------------------
+_fractions = st.fractions(
+    min_value=Fraction(-10**9), max_value=Fraction(10**9),
+    max_denominator=10**6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_fractions, _fractions), min_size=0, max_size=8))
+def test_constructed_totals_always_verify(values):
+    parts = [
+        DiagnosisPart(name=f"p{i:02d}", a=a, b=b)
+        for i, (a, b) in enumerate(values)
+    ]
+    diagnosis = Diagnosis(
+        kind="profile", label_a="a", label_b="b", unit="cycles",
+        total_a=sum((p.a for p in parts), ZERO),
+        total_b=sum((p.b for p in parts), ZERO),
+        parts=parts,
+    )
+    assert diagnosis.verify() is diagnosis
+    shares = [diagnosis.share(p) for p in parts]
+    if diagnosis.total_delta != 0:
+        assert sum(shares, ZERO) == 1  # exact shares partition the delta
+    # Rendering never raises, whatever the numbers.
+    for fmt in ("table", "md", "json"):
+        assert diagnosis.render(fmt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(_fractions, _fractions), min_size=1, max_size=6),
+    _fractions.filter(lambda f: f != 0),
+)
+def test_perturbed_totals_always_raise(values, nudge):
+    parts = [
+        DiagnosisPart(name=f"p{i:02d}", a=a, b=b)
+        for i, (a, b) in enumerate(values)
+    ]
+    diagnosis = Diagnosis(
+        kind="profile", label_a="a", label_b="b", unit="cycles",
+        total_a=sum((p.a for p in parts), ZERO),
+        total_b=sum((p.b for p in parts), ZERO) + nudge,
+        parts=parts,
+    )
+    with pytest.raises(DiagnosisError):
+        diagnosis.verify()

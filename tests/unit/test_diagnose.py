@@ -1,0 +1,278 @@
+"""Unit tests for the causal diagnosis engine.
+
+The load-bearing contract: every diagnosis's parts sum **bit-for-bit**
+(Fraction-exact) to the end-to-end delta, verdicts rank by |delta| with
+deterministic tiebreaks, and an injected 20% regression concentrated in
+a few layers reproduces the committed golden diagnosis byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.diagnose import (
+    Diagnosis,
+    DiagnosisPart,
+    _layer_concentration,
+    diagnose_bench,
+    diagnose_profiles,
+)
+from repro.analysis.profile import LayerReport, ModelProfile
+from repro.errors import DiagnosisError
+from repro.telemetry.regression import compare_bench_history
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "..", "golden", "diagnose-regression.json"
+)
+
+F = Fraction
+
+
+def _diag(parts, total_a=None, total_b=None, **kwargs):
+    total_a = sum((p.a for p in parts), F(0)) if total_a is None else total_a
+    total_b = sum((p.b for p in parts), F(0)) if total_b is None else total_b
+    return Diagnosis(
+        kind="profile", label_a="a", label_b="b", unit="cycles",
+        total_a=total_a, total_b=total_b, parts=parts, **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exactness + ranking
+# ----------------------------------------------------------------------
+class TestInvariant:
+    def test_verify_passes_when_parts_sum(self):
+        d = _diag([DiagnosisPart("x", F(1), F(3)),
+                   DiagnosisPart("y", F(2), F(5))])
+        assert d.verify() is d
+        assert d.total_delta == F(5)
+
+    def test_verify_raises_on_mismatch(self):
+        d = _diag([DiagnosisPart("x", F(1), F(3))], total_a=F(1),
+                  total_b=F(4))
+        with pytest.raises(DiagnosisError):
+            d.verify()
+
+    def test_share_is_exact_fraction(self):
+        d = _diag([DiagnosisPart("x", F(0), F(1)),
+                   DiagnosisPart("y", F(0), F(2))])
+        assert d.share(d.parts[0]) == F(1, 3)
+        assert d.share(d.parts[1]) == F(2, 3)
+
+    def test_share_none_when_runs_tie(self):
+        # Offsetting parts: +5 and -5 net to zero end-to-end.  A share
+        # of 0/0 must be None, not a misleading 0%.
+        d = _diag([DiagnosisPart("x", F(0), F(5)),
+                   DiagnosisPart("y", F(5), F(0))])
+        assert d.total_delta == 0
+        assert d.share(d.parts[0]) is None
+        verdicts = d.verdicts()
+        assert any("offsetting part" in v for v in verdicts)
+
+
+class TestRanking:
+    def test_ranked_by_abs_delta_then_name(self):
+        d = _diag([
+            DiagnosisPart("b.small", F(0), F(1)),
+            DiagnosisPart("a.negative", F(10), F(0)),  # |delta| = 10
+            DiagnosisPart("c.big", F(0), F(10)),       # |delta| = 10
+        ])
+        assert [p.name for p in d.ranked()] == [
+            "a.negative", "c.big", "b.small",
+        ]
+
+    def test_verdict_thresholds(self):
+        d = _diag([
+            DiagnosisPart("dominant", F(0), F(80)),   # 80% of delta
+            DiagnosisPart("driver", F(0), F(25)),     # 25%
+            DiagnosisPart("minor", F(0), F(5)),       # 5%
+            DiagnosisPart("offset", F(10), F(0)),     # -10%
+        ])
+        verdicts = "\n".join(d.verdicts())
+        assert "dominant" in verdicts and "dominates the delta" in verdicts
+        assert "drives the delta" in verdicts
+        assert "minor contributor" in verdicts
+        assert "offsets the delta" in verdicts
+
+    def test_no_delta_verdict(self):
+        d = _diag([DiagnosisPart("x", F(3), F(3))])
+        assert d.verdicts() == ["no delta: b matches a exactly"]
+
+
+class TestRendering:
+    def test_json_round_trip_is_deterministic(self):
+        d = _diag([DiagnosisPart("x", F(1, 3), F(2, 3))])
+        first, second = d.to_json(), d.to_json()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["parts"][0]["delta_exact"] == "1/3"
+        assert payload["total"]["delta_exact"] == "1/3"
+
+    def test_table_render_carries_exact_sum_line(self):
+        d = _diag([DiagnosisPart("x", F(0), F(7, 2))])
+        text = d.render("table")
+        assert "parts sum exactly to the end-to-end delta: 7/2" in text
+
+    def test_unknown_format_falls_back_to_table(self):
+        d = _diag([DiagnosisPart("x", F(0), F(1))])
+        assert d.render("table") == d.render("anything-else")
+
+
+# ----------------------------------------------------------------------
+# Layer concentration
+# ----------------------------------------------------------------------
+def _layer(index, parts):
+    return LayerReport(
+        name=f"l{index}", index=index, cycles=sum(parts.values(), F(0)),
+        parts=parts, bound="memory", overlap_efficiency=None,
+    )
+
+
+class TestLayerConcentration:
+    def test_strict_subspan_is_reported(self):
+        base = [_layer(i, {"dma.stall.iotlb": F(0)}) for i in range(8)]
+        regressed = [
+            _layer(i, {"dma.stall.iotlb": F(1000) if 4 <= i <= 7 else F(0)})
+            for i in range(8)
+        ]
+        where = _layer_concentration("dma.stall.iotlb", base, regressed)
+        assert where == "layers 4–7"
+
+    def test_single_layer_label(self):
+        base = [_layer(i, {"pe.compute": F(10)}) for i in range(4)]
+        regressed = [
+            _layer(i, {"pe.compute": F(10) + (F(100) if i == 2 else F(0))})
+            for i in range(4)
+        ]
+        assert _layer_concentration("pe.compute", base, regressed) \
+            == "layer 2"
+
+    def test_uniform_spread_is_not_concentrated(self):
+        base = [_layer(i, {"pe.compute": F(0)}) for i in range(4)]
+        regressed = [_layer(i, {"pe.compute": F(25)}) for i in range(4)]
+        assert _layer_concentration("pe.compute", base, regressed) is None
+
+    def test_mismatched_layer_counts_abstain(self):
+        a = [_layer(0, {"pe.compute": F(1)})]
+        b = [_layer(i, {"pe.compute": F(1)}) for i in range(2)]
+        assert _layer_concentration("pe.compute", a, b) is None
+
+
+# ----------------------------------------------------------------------
+# Golden: injected 20% regression
+# ----------------------------------------------------------------------
+def _profile(protection, categories, layers):
+    return ModelProfile(
+        task="synthetic8", protection=protection, mode="analytic",
+        secure=False, total=sum(categories.values(), F(0)),
+        categories=categories, counts={"iotlb.walks": 0}, layers=layers,
+    )
+
+
+def _regression_pair():
+    """A hand-built base/regressed pair: +20% end-to-end, the growth
+    entirely in dma.stall.iotlb and concentrated in layers 4-7."""
+    base_cats = {
+        "pe.compute": F(80000),
+        "dma.transfer": F(15000),
+        "dma.stall.iotlb": F(5000),
+    }
+    layers_base = [
+        _layer(i, {
+            "pe.compute": F(10000),
+            "dma.transfer": F(1875),
+            "dma.stall.iotlb": F(625),
+        })
+        for i in range(8)
+    ]
+    regressed_cats = {
+        "pe.compute": F(80000),
+        "dma.transfer": F(15000),
+        "dma.stall.iotlb": F(25000),
+    }
+    layers_regressed = [
+        _layer(i, {
+            "pe.compute": F(10000),
+            "dma.transfer": F(1875),
+            "dma.stall.iotlb": F(625) + (F(5000) if 4 <= i <= 7 else F(0)),
+        })
+        for i in range(8)
+    ]
+    a = _profile("none", base_cats, layers_base)
+    b = _profile("none", regressed_cats, layers_regressed)
+    b.counts = {"iotlb.walks": 640}
+    return a, b
+
+
+class TestGoldenDiagnosis:
+    def test_injected_regression_matches_golden(self, update_goldens):
+        a, b = _regression_pair()
+        diagnosis = diagnose_profiles(a, b)
+        payload = diagnosis.to_dict()
+        if update_goldens:
+            with open(GOLDEN, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        assert os.path.exists(GOLDEN), (
+            "no golden diagnosis; run pytest with --update-goldens"
+        )
+        with open(GOLDEN) as fh:
+            golden = json.load(fh)
+        assert payload == golden
+
+    def test_injected_regression_facts(self):
+        a, b = _regression_pair()
+        d = diagnose_profiles(a, b)
+        assert d.total_delta == F(20000)
+        assert d.total_delta == sum((p.delta for p in d.parts), F(0))
+        top = d.ranked()[0]
+        assert top.name == "dma.stall.iotlb"
+        assert d.share(top) == F(1)  # 100% of the delta
+        assert d.concentrations["dma.stall.iotlb"] == "layers 4–7"
+        assert any("dominates the delta" in v for v in d.verdicts())
+        assert {"name": "count.iotlb.walks", "a": 0, "b": 640,
+                "delta": 640} in d.scalars
+
+
+# ----------------------------------------------------------------------
+# Bench diagnosis
+# ----------------------------------------------------------------------
+class TestBenchDiagnosis:
+    HISTORIES = [
+        {"deterministic": {"rows": 10.0}, "timing": {"run_seconds": s}}
+        for s in (1.0, 1.02, 0.98)
+    ]
+
+    def test_parts_cover_shared_metrics(self):
+        payload = {"metrics": {"deterministic": {"rows": 10},
+                               "timing": {"run_seconds": 1.2}}}
+        d = diagnose_bench(self.HISTORIES, payload, "demo")
+        names = {p.name for p in d.parts}
+        assert names == {"deterministic.rows", "timing.run_seconds"}
+        assert d.total_delta == sum((p.delta for p in d.parts), F(0))
+        assert d.label_a == "demo@history-median[3]"
+
+    def test_one_sided_metric_is_noted_not_summed(self):
+        payload = {"metrics": {"deterministic": {"rows": 10, "cells": 7},
+                               "timing": {"run_seconds": 1.0}}}
+        d = diagnose_bench(self.HISTORIES, payload, "demo")
+        assert "deterministic.cells" not in {p.name for p in d.parts}
+        assert any("deterministic.cells" in n and "excluded" in n
+                   for n in d.notes)
+
+    def test_gate_verdicts_ride_along_as_notes(self):
+        payload = {"metrics": {"deterministic": {"rows": 10},
+                               "timing": {"run_seconds": 1.2}}}
+        comparison = compare_bench_history(
+            self.HISTORIES, payload, timing_tolerance=0.1,
+        )
+        assert not comparison.ok
+        d = diagnose_bench(self.HISTORIES, payload, "demo",
+                           comparison=comparison)
+        notes = "\n".join(d.notes)
+        assert "gate: FAIL: 1 regression(s)" in notes
+        assert "run_seconds" in notes and "REGRESSED" in notes
