@@ -1,0 +1,147 @@
+"""Benchmark the cluster serving path at production request counts.
+
+Serves the ``default`` scenario on an 8-worker cluster with a
+1,000,000-request fluid horizon under the three headline mechanisms
+(snpu / partition / flush-tile) and writes ``BENCH_cluster.json`` at
+the repo root in the two-section schema ``repro bench diff``
+understands:
+
+* ``metrics.deterministic`` — simulated results (requests served,
+  detailed-sample sizes, pooled per-tenant p99s, the acceptance
+  ordering flag).  Bit-identical run to run; a change means the serving
+  or cluster model changed and the committed baseline must move in the
+  same PR.
+* ``metrics.timing`` — host seconds per mechanism and in total.  The
+  budget is **<= 60 s total**: a million-request cluster report must
+  stay an interactive operation, which is the whole point of the fluid
+  + sampled-detailed split.
+
+The script exits 1 when the wall-clock budget is blown, when any
+mechanism serves fewer than the 1e6-request target, or when the
+per-tenant p99 ordering snpu < partition < flush-tile breaks at
+cluster scale — the paper's defining claim must survive sharding.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [detail_ms]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from _common import write_bench
+from repro import telemetry
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.npu.config import NPUConfig
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.workload import SCENARIOS
+
+SCENARIO = "default"
+MECHANISMS = ("snpu", "partition", "flush-tile")
+WORKERS = 8
+REQUESTS = 1_000_000
+BALANCE = "rr"
+SEED = 0
+#: Total host-seconds budget for all three mechanism runs.
+WALL_BUDGET_S = 60.0
+
+
+def main(detail_ms: float = 400.0) -> int:
+    scenario = SCENARIOS[SCENARIO]
+    config = NPUConfig.paper_default()
+    scheduler = MultiTaskScheduler(config)  # shared analytic-run cache
+    reports = {}
+    seconds = {}
+    total = 0.0
+    for mechanism in MECHANISMS:
+        with telemetry.scoped(trace=False, profile=False, flow=True):
+            sim = ClusterSimulator(
+                scenario, mechanism=mechanism, balance=BALANCE,
+                workers=WORKERS, requests=REQUESTS, seed=SEED,
+                detail_ms=detail_ms, config=config, scheduler=scheduler,
+            )
+            started = time.perf_counter()
+            reports[mechanism] = sim.run()
+            seconds[mechanism] = time.perf_counter() - started
+        total += seconds[mechanism]
+
+    ordered = all(
+        reports["snpu"].tenant(spec.name).p99_ms
+        < reports["partition"].tenant(spec.name).p99_ms
+        < reports["flush-tile"].tenant(spec.name).p99_ms
+        for spec in scenario.tenants
+    )
+    deterministic = {
+        "workers": float(WORKERS),
+        "requests_target": float(REQUESTS),
+        "p99_ordering_holds": float(ordered),
+    }
+    for mechanism in MECHANISMS:
+        rep = reports[mechanism]
+        key = mechanism.replace("-", "_")
+        deterministic[f"{key}_requests_total"] = float(rep.requests_total)
+        deterministic[f"{key}_requests_detailed"] = float(
+            rep.requests_detailed)
+        deterministic[f"{key}_recon_checks"] = float(
+            len(rep.reconciliation))
+        for tenant in rep.tenants:
+            deterministic[f"{key}_p99_ms_{tenant.tenant}"] = tenant.p99_ms
+    timing = {
+        **{
+            f"{m.replace('-', '_')}_seconds": round(seconds[m], 4)
+            for m in MECHANISMS
+        },
+        "total_seconds": round(total, 4),
+    }
+
+    out = write_bench("cluster", {
+        "benchmark": "sharded cluster serving at 1e6 requests",
+        "scenario": SCENARIO,
+        "workers": WORKERS,
+        "requests": REQUESTS,
+        "balance": BALANCE,
+        "seed": SEED,
+        "detail_ms": detail_ms,
+        "wall_budget_seconds": WALL_BUDGET_S,
+        "metrics": {
+            "deterministic": deterministic,
+            "timing": timing,
+        },
+    })
+    for mechanism in MECHANISMS:
+        rep = reports[mechanism]
+        print(
+            f"{mechanism:12s} {rep.requests_total} requests "
+            f"({rep.requests_detailed} detailed) in "
+            f"{seconds[mechanism]:.2f}s"
+        )
+    print(
+        f"total {total:.2f}s (budget {WALL_BUDGET_S:g}s); "
+        f"p99 ordering {'holds' if ordered else 'VIOLATED'}"
+    )
+    print(f"wrote {out}")
+    failed = False
+    if total > WALL_BUDGET_S:
+        print(
+            f"FAIL: {total:.2f}s exceeds the {WALL_BUDGET_S:g}s budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if any(r.requests_total < REQUESTS for r in reports.values()):
+        print("FAIL: a mechanism served fewer requests than the target",
+              file=sys.stderr)
+        failed = True
+    if not ordered:
+        print(
+            "FAIL: per-tenant p99 ordering snpu < partition < flush-tile "
+            "broke at cluster scale", file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    ms = float(sys.argv[1]) if len(sys.argv) > 1 else 400.0
+    raise SystemExit(main(ms))

@@ -508,6 +508,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.report import ServeReport
     from repro.serving.workload import SCENARIOS
 
+    # The cluster path handles fleets, request-count targets and
+    # autoscaling; a plain ``--workers 1`` invocation stays on the
+    # original single-NPU path (byte-identical output).
+    if args.workers != 1 or args.requests is not None or args.autoscale:
+        return _cmd_serve_cluster(args)
     scenario = SCENARIOS[args.scenario]
     with telemetry.scoped(
         trace=bool(args.trace), profile=False, flow=True
@@ -542,6 +547,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.store.ingest import record_from_serve
 
     ingest_quietly(record_from_serve(report, seed=args.seed))
+    _emit(payload, args.out)
+    if args.format == "table":
+        print(f"({n_flows} request flows tracked, "
+              f"{n_audit} audit records)")
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """Serve a scenario across N NPU workers (fluid + sampled detail)."""
+    from repro.serving.cluster import ClusterSimulator, autoscale
+    from repro.serving.workload import SCENARIOS
+
+    scenario = SCENARIOS[args.scenario]
+    requests = None if args.requests is None else int(args.requests)
+    with telemetry.scoped(trace=False, profile=False, flow=True) as scope:
+        if args.autoscale:
+            report = autoscale(
+                scenario,
+                mechanism=args.mechanism,
+                policy=args.policy,
+                balance=args.balance,
+                rps=args.rps,
+                duration_ms=args.duration,
+                requests=requests,
+                seed=args.seed,
+                detail_ms=args.detail,
+                min_workers=args.workers,
+                max_workers=args.autoscale,
+            )
+        else:
+            simulator = ClusterSimulator(
+                scenario,
+                mechanism=args.mechanism,
+                policy=args.policy,
+                balance=args.balance,
+                workers=args.workers,
+                rps=args.rps,
+                duration_ms=args.duration,
+                requests=requests,
+                seed=args.seed,
+                detail_ms=args.detail,
+            )
+            report = simulator.run()
+        n_flows = len(scope.flows)
+        n_audit = len(scope.audit)
+    payload = _format_payload(args.format, {
+        fmt: (lambda f=fmt: report.render(f))
+        for fmt in ("table", "json")
+    })
+    if payload is None:
+        return 2
+    from repro.store import ingest_quietly
+    from repro.store.ingest import record_from_cluster
+
+    ingest_quietly(record_from_cluster(report, seed=args.seed))
     _emit(payload, args.out)
     if args.format == "table":
         print(f"({n_flows} request flows tracked, "
@@ -1296,6 +1356,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0,
                          help="workload seed (same seed => identical JSON)")
+    from repro.serving.cluster import CLUSTER_POLICIES, DEFAULT_DETAIL_MS
+
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="NPU workers in the cluster (default 1: the single-NPU "
+             "path, byte-identical to previous releases)",
+    )
+    p_serve.add_argument(
+        "--balance", choices=CLUSTER_POLICIES, default="rr",
+        help="cluster load-balancing policy (default rr)",
+    )
+    p_serve.add_argument(
+        "--requests", type=float, default=None, metavar="R",
+        help="total request target, e.g. 1e6 (fluid horizon + a "
+             "seed-stable detailed sample; implies the cluster path)",
+    )
+    p_serve.add_argument(
+        "--detail", type=float, default=DEFAULT_DETAIL_MS, metavar="MS",
+        help="detailed-sample window per worker in ms "
+             f"(default {DEFAULT_DETAIL_MS:g})",
+    )
+    p_serve.add_argument(
+        "--autoscale", type=int, default=None, metavar="MAXW",
+        help="autoscale the fleet from --workers up to MAXW workers "
+             "until every tenant meets its SLA at p99",
+    )
     p_serve.add_argument("--format", default="table", metavar="FMT",
                          help="table or json (default table)")
     p_serve.add_argument("-o", "--out", default=None, metavar="PATH",

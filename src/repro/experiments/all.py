@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.experiments import fig01, fig13, fig14, fig15, fig16, fig17, fig18
-from repro.experiments import sensitivity, serve, table1, tcb, watch
+from repro.experiments import cluster, sensitivity, serve, table1, tcb, watch
 from repro.experiments.registry import ExperimentRegistry
 from repro.experiments.runner import ExperimentResult
 
@@ -70,6 +70,8 @@ REGISTRY.register("sensitivity", sensitivity.run, cost=3.4,
                   description="sensitivity sweeps")
 REGISTRY.register("serve-sweep", serve.run, cost=6.0,
                   description="multi-tenant serving SLA sweep (§IV-B)")
+REGISTRY.register("cluster-sweep", cluster.run, cost=8.0,
+                  description="sharded multi-NPU cluster serving sweep")
 REGISTRY.register("access-paths", _access_paths, cost=3.0, in_all=False,
                   description="access-path microbenchmarks")
 REGISTRY.register("watch", watch.run, cost=1.0,

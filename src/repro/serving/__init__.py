@@ -9,11 +9,27 @@ arrival streams (:mod:`repro.serving.workload`), pluggable dispatch
 policies pick what runs next (:mod:`repro.serving.policies`), the
 simulator serves the stream under a chosen mechanism
 (:mod:`repro.serving.queueing`) and the report renders per-tenant
-p50/p95/p99 + SLA attainment (:mod:`repro.serving.report`).
+p50/p95/p99 + SLA attainment (:mod:`repro.serving.report`).  A sharded
+multi-NPU cluster layer (:mod:`repro.serving.cluster`) scales the same
+machinery to millions of requests: fluid totals, a seed-stable detailed
+sample per worker, reconciliation between the two, and autoscaling.
 
-CLI: ``repro serve <scenario> --mechanism snpu --rps 240 --duration 400``.
+CLI: ``repro serve <scenario> --mechanism snpu --rps 240 --duration 400``
+or ``repro serve <scenario> --workers 8 --requests 1e6``.
 """
 
+from repro.serving.cluster import (
+    CLUSTER_POLICIES,
+    AutoscaleStep,
+    ClusterReport,
+    ClusterSimulator,
+    Stream,
+    WorkerFluid,
+    assign_streams,
+    autoscale,
+    build_streams,
+    worker_scenario,
+)
 from repro.serving.live import ServeWindows
 from repro.serving.policies import POLICIES, Policy
 from repro.serving.queueing import (
@@ -34,6 +50,16 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "CLUSTER_POLICIES",
+    "AutoscaleStep",
+    "ClusterReport",
+    "ClusterSimulator",
+    "Stream",
+    "WorkerFluid",
+    "assign_streams",
+    "autoscale",
+    "build_streams",
+    "worker_scenario",
     "POLICIES",
     "Policy",
     "MECHANISMS",

@@ -35,7 +35,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.driver.scheduler import MultiTaskScheduler
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReconciliationError
 from repro.npu.config import NPUConfig
 from repro.serving.live import ServeWindows
 from repro.serving.policies import Policy
@@ -56,6 +56,15 @@ MECHANISMS = ("snpu", "partition", "flush-tile", "flush-layer", "flush-layer5")
 SERVE_SPLITS = (0.25, 0.375, 0.5, 0.625, 0.75)
 
 _EPS = 1e-9
+
+
+def residual_violation_eps(latency: float) -> float:
+    """Largest negative wait residual attributable to float noise.
+
+    Latency, service and the security costs are each sums of many
+    float quanta, so reassociation error scales with the magnitudes
+    involved; anything below this is a *real* over-accounting bug."""
+    return 1e-6 + 1e-9 * abs(latency)
 
 
 class RateOracle:
@@ -122,11 +131,19 @@ class RateOracle:
             # tenant's allocation blow another's SLA), then minimize the
             # total normalized time.  0.5 is always a candidate, so snpu
             # dominates the partition baseline pointwise.
+            # Both baselines use the SAME static-half budget the
+            # partition mechanism actually pays (``spad // 2``).  Using
+            # ``spad - spad // 2`` for one side hands the baseline an
+            # extra byte whenever ``spad_bytes`` is odd, and a tiling
+            # boundary can make that byte *slower* — the dominance
+            # filter would then compare candidates against a baseline
+            # partition never pays, breaking "snpu never worse than
+            # partition" by construction.
             ta_half = self.scheduler.run(
                 self.models[key_a], budget=spad // 2, share=0.5
             ).cycles
             tb_half = self.scheduler.run(
-                self.models[key_b], budget=spad - spad // 2, share=0.5
+                self.models[key_b], budget=spad // 2, share=0.5
             ).cycles
             best = (
                 ta_half / self.solo(key_a) + tb_half / self.solo(key_b),
@@ -169,9 +186,19 @@ class CompletedRequest:
     world: float = 0.0
 
     @property
+    def residual(self) -> float:
+        """Signed latency remainder after the owned components.
+
+        Negative values mean the decomposition over-accounts; the
+        simulator counts small ones (float noise) and raises on large
+        ones rather than letting :attr:`wait` mask them.
+        """
+        return self.latency - self.service - self.flush - self.world
+
+    @property
     def wait(self) -> float:
         """Queueing + contention cycles (latency minus everything owned)."""
-        return max(0.0, self.latency - self.service - self.flush - self.world)
+        return max(0.0, self.residual)
 
     @property
     def sla_ok(self) -> bool:
@@ -195,6 +222,11 @@ class ServeOutcome:
     flush_cycles: float = 0.0
     world_switches: int = 0
     world_cycles: float = 0.0
+    #: Completions whose wait residual was negative float noise and got
+    #: clamped to zero, and the total cycles clamped away.  Anything
+    #: beyond noise raises :class:`ReconciliationError` instead.
+    wait_clamps: int = 0
+    clamped_cycles: float = 0.0
     #: Live per-window timeline (populated when the simulator was built
     #: with ``window_ms``; reconciled against the totals above at close).
     windows: Optional[ServeWindows] = None
@@ -262,8 +294,20 @@ class ServeSimulator:
         #: Passing a shared scheduler across mechanisms reuses its
         #: analytic run cache (the sweep experiment does this).
         self.scheduler = scheduler or MultiTaskScheduler(self.config)
-        self.rps = float(rps) if rps else scenario.rps
-        self.duration_ms = float(duration_ms) if duration_ms else scenario.duration_ms
+        # ``rps=0`` is a legitimate request ("serve nothing, render an
+        # empty report") — only ``None`` means "use the scenario
+        # default".  A falsy check here would silently fall back to the
+        # scenario rate and report a run the user never asked for.
+        self.rps = scenario.rps if rps is None else float(rps)
+        if self.rps < 0:
+            raise ConfigError(f"rps must be non-negative, got {self.rps}")
+        self.duration_ms = (
+            scenario.duration_ms if duration_ms is None else float(duration_ms)
+        )
+        if self.duration_ms <= 0:
+            raise ConfigError(
+                f"duration_ms must be positive, got {self.duration_ms}"
+            )
         self.seed = int(seed)
         self.models = {key: build_model(key) for key in scenario.model_keys()}
         self._tenant_order = tuple(t.name for t in scenario.tenants)
@@ -384,12 +428,21 @@ class ServeSimulator:
             stream=req.tenant,
             context=req.model,
         )
-        outcome.completed.append(
-            CompletedRequest(
-                request=req, flow=flow, completion=completion,
-                latency=latency, service=service, flush=flush, world=world,
-            )
+        done = CompletedRequest(
+            request=req, flow=flow, completion=completion,
+            latency=latency, service=service, flush=flush, world=world,
         )
+        if done.residual < 0.0:
+            if done.residual < -residual_violation_eps(latency):
+                raise ReconciliationError(
+                    f"over-accounted completion rid={req.rid} "
+                    f"tenant={req.tenant!r}: service+flush+world exceeds "
+                    f"latency by {-done.residual:.6g} cycles "
+                    f"(latency={latency:.6g})"
+                )
+            outcome.wait_clamps += 1
+            outcome.clamped_cycles += -done.residual
+        outcome.completed.append(done)
 
     # ------------------------------------------------------------------
     # Temporal sharing: one NPU, quantum round-robin with flushes

@@ -66,7 +66,7 @@ class TenantReport:
         }
 
 
-def _tenant_stats(
+def tenant_stats(
     name: str,
     world: str,
     sla_ms: Optional[float],
@@ -139,12 +139,12 @@ class ServeReport:
                 comp.request.sla_cycles / cycles_per_ms
             )
         tenants = [
-            _tenant_stats(
+            tenant_stats(
                 name, worlds[name], slas[name], by_tenant[name], cycles_per_ms
             )
             for name in sorted(by_tenant)
         ]
-        aggregate = _tenant_stats(
+        aggregate = tenant_stats(
             "all", "-", None, outcome.completed, cycles_per_ms
         )
         busy = outcome.busy_cycles
@@ -182,6 +182,10 @@ class ServeReport:
                 "world_switches": out.world_switches,
                 "world_cycles": out.world_cycles,
                 "world_switch_share": self.world_share,
+            },
+            "accounting": {
+                "wait_clamps": out.wait_clamps,
+                "clamped_cycles": out.clamped_cycles,
             },
             "tenants": {t.tenant: t.to_dict() for t in self.tenants},
             "aggregate": self.aggregate.to_dict(),
@@ -237,6 +241,11 @@ class ServeReport:
             f"{out.world_switches} world switches "
             f"({self.world_share:.2%}); makespan {self.makespan_ms:.1f} ms"
         )
+        if out.wait_clamps:
+            lines.append(
+                f"accounting: {out.wait_clamps} wait residuals clamped "
+                f"({out.clamped_cycles:.3g} cycles of float noise)"
+            )
         return "\n".join(lines) + "\n"
 
 

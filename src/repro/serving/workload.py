@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.workloads import zoo
@@ -282,20 +282,26 @@ def _tenant_arrivals(
 
 def generate(
     scenario: Scenario,
-    rps: float = 0.0,
-    duration_ms: float = 0.0,
+    rps: Optional[float] = None,
+    duration_ms: Optional[float] = None,
     seed: int = 0,
     freq_ghz: float = 1.0,
 ) -> List[Request]:
     """Expand *scenario* into a deterministic arrival-sorted request list.
 
-    ``rps``/``duration_ms`` default (when <= 0) to the scenario's values.
-    Arrival instants and SLA budgets are in cycles at *freq_ghz*.
+    ``rps``/``duration_ms`` default (when ``None``) to the scenario's
+    values.  ``rps=0`` is a valid empty stream; negative rates and
+    non-positive durations are configuration errors.  Arrival instants
+    and SLA budgets are in cycles at *freq_ghz*.
     """
-    rps = rps if rps > 0 else scenario.rps
-    duration_ms = duration_ms if duration_ms > 0 else scenario.duration_ms
-    if rps <= 0 or duration_ms <= 0:
-        raise ConfigError("rps and duration_ms must be positive")
+    rps = scenario.rps if rps is None else rps
+    duration_ms = scenario.duration_ms if duration_ms is None else duration_ms
+    if rps < 0:
+        raise ConfigError(f"rps must be non-negative, got {rps}")
+    if duration_ms <= 0:
+        raise ConfigError(f"duration_ms must be positive, got {duration_ms}")
+    if rps == 0:
+        return []
     cycles_per_ms = freq_ghz * 1e6
     horizon = duration_ms * cycles_per_ms
     raw: List[Tuple[float, str, str, str, int, float]] = []

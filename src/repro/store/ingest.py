@@ -128,6 +128,75 @@ def record_from_serve(
     )
 
 
+def record_from_cluster(
+    report: Any,  # ClusterReport
+    seed: int,
+) -> RunRecord:
+    """``repro serve --workers N``: fluid totals + pooled detailed stats.
+
+    The experiment string embeds the balance policy and fleet size so a
+    cluster run never collides with the plain serve record of the same
+    scenario/mechanism/policy.  The ``serve.*`` cycle metrics are the
+    sums over workers' detailed samples — the exact decomposition
+    ``repro diagnose`` rebuilds, so archived cluster pairs diagnose the
+    same way single-NPU serve pairs do.  Tenant rows carry the pooled
+    stats plus per-worker ``w{i}/{tenant}`` breakdowns.
+    """
+    service = flush = world = 0.0
+    flushes = world_switches = completed = 0
+    for rep in report.worker_reports:
+        if rep is None:
+            continue
+        out = rep.outcome
+        service += out.service_cycles
+        flush += out.flush_cycles
+        world += out.world_cycles
+        flushes += out.flushes
+        world_switches += out.world_switches
+        completed += len(out.completed)
+    metrics: Dict[str, Any] = {
+        "serve.completed": completed,
+        "serve.requests_total": report.requests_total,
+        "serve.workers": report.workers,
+        "serve.flushes": flushes,
+        "serve.service_cycles": service,
+        "serve.flush_cycles": flush,
+        "serve.world_cycles": world,
+        "serve.world_switches": world_switches,
+        "serve.wait_clamps": report.wait_clamps,
+    }
+    for tenant in report.tenants + [report.aggregate]:
+        prefix = f"serve.tenant.{tenant.tenant}"
+        metrics[f"{prefix}.p99_ms"] = tenant.p99_ms
+        metrics[f"{prefix}.sla_attainment"] = tenant.sla_attainment
+    tenants = _tenant_rows(report)
+    for idx, rep in enumerate(report.worker_reports):
+        if rep is None:
+            continue
+        for row in _tenant_rows(rep):
+            tenants.append({**row, "tenant": f"w{idx}/{row['tenant']}"})
+    return RunRecord(
+        verb="serve",
+        experiment=(
+            f"{report.scenario}:{report.mechanism}:{report.policy}"
+            f":{report.balance}:w{report.workers}"
+        ),
+        protection=report.mechanism,
+        seed=seed,
+        payload={
+            "scenario": report.scenario, "mechanism": report.mechanism,
+            "policy": report.policy, "balance": report.balance,
+            "workers": report.workers, "rps": report.rps,
+            "duration_ms": report.duration_ms,
+            "detail_ms": report.detail_ms,
+            "requests_total": report.requests_total,
+            "requests_detailed": report.requests_detailed,
+        },
+        metrics=metrics,
+        tenants=tenants,
+    )
+
+
 def record_from_watch(
     outcome: Any,  # ServeOutcome with .windows
     seed: int,

@@ -104,3 +104,112 @@ class TestAcceptanceOrdering:
     def test_same_stream_under_every_mechanism(self, reports):
         counts = {m: r.aggregate.n for m, r in reports.items()}
         assert len(set(counts.values())) == 1
+
+
+class TestZeroRequestRendering:
+    """--rps 0 serves nothing and renders identically in both formats."""
+
+    def test_table_exits_zero_with_dashes(self, capsys):
+        assert main([
+            "serve", "default", "--rps", "0", "--duration", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        # The header must reflect the requested rate, not silently fall
+        # back to the scenario's 300 rps.
+        assert "rps=0" in out
+        for name in ("cam", "nlp", "batch"):
+            row = next(
+                line for line in out.splitlines()
+                if line.strip().startswith(name)
+            )
+            assert " 0 " in row and "-" in row
+
+    def test_json_exits_zero_with_explicit_nulls(self, tmp_path):
+        path = tmp_path / "empty.json"
+        assert main([
+            "serve", "default", "--rps", "0", "--duration", "100",
+            "--format", "json", "-o", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["rps"] == 0.0
+        assert payload["completed"] == 0
+        assert payload["aggregate"]["n"] == 0
+        assert payload["aggregate"]["p99_ms"] is None
+        assert payload["aggregate"]["sla_attainment"] is None
+        for tenant in payload["tenants"].values():
+            assert tenant["n"] == 0
+            assert tenant["p99_ms"] is None
+
+    def test_table_and_json_agree_on_zero(self, capsys, tmp_path):
+        path = tmp_path / "empty.json"
+        assert main([
+            "serve", "default", "--rps", "0", "--duration", "100",
+            "--format", "json", "-o", str(path),
+        ]) == 0
+        assert main([
+            "serve", "default", "--rps", "0", "--duration", "100",
+        ]) == 0
+        table = capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        # Same zeros on both sides: no divide-by-zero, no fabricated 0.0
+        # latencies in either rendering.
+        assert payload["completed"] == 0
+        assert "(0 request flows tracked, 0 audit records)" in table
+
+
+class TestClusterCLI:
+    def test_cluster_json_schema(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        assert main([
+            "serve", "default", "--workers", "2", "--requests", "40000",
+            "--detail", "150", "--format", "json", "-o", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["workers"] == 2
+        assert payload["requests_total"] == 40000
+        assert payload["balance"] == "rr"
+        assert len(payload["fluid"]) == 2
+        assert set(payload["tenants"]) == {"cam", "nlp", "batch"}
+        assert all(c["ok"] for c in payload["reconciliation"])
+        assert {"wait_clamps", "clamped_cycles"} <= set(
+            payload["accounting"]
+        )
+
+    def test_cluster_table_mentions_fleet(self, capsys):
+        assert main([
+            "serve", "default", "--workers", "2", "--requests", "40000",
+            "--detail", "150",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "40000 requests" in out
+        assert "reconciliation" in out
+        assert "request flows tracked" in out
+
+    def test_autoscale_flag_reports_steps(self, tmp_path):
+        path = tmp_path / "scaled.json"
+        assert main([
+            "serve", "secure-heavy", "--workers", "1", "--autoscale", "2",
+            "--detail", "150", "--format", "json", "-o", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["autoscale"][-1]["decision"] == "hold"
+
+    def test_cluster_run_is_archived(self, tmp_path, monkeypatch):
+        store = tmp_path / "runs.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store))
+        assert main([
+            "serve", "default", "--workers", "2", "--requests", "40000",
+            "--detail", "150", "--format", "json",
+            "-o", str(tmp_path / "out.json"),
+        ]) == 0
+        from repro.store.store import RunStore
+
+        runs = RunStore(str(store)).runs_by_recency()
+        assert len(runs) == 1
+        assert runs[0]["experiment"] == "default:snpu:rr:rr:w2"
+        tenants = RunStore(str(store)).children("tenants", runs[0]["run_id"])
+        names = {row["tenant"] for row in tenants}
+        # Pooled rows plus per-worker breakdowns.
+        assert {"cam", "nlp", "batch"} <= names
+        assert any(name.startswith("w0/") for name in names)

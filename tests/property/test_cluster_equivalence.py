@@ -1,0 +1,86 @@
+"""Property tests: cluster workers=1 == single-NPU, and order-freedom.
+
+Two contracts the cluster layer must never break:
+
+1. ``repro serve <scenario> --workers 1`` (no request target, no
+   autoscale) is *byte-identical* to the plain single-NPU ``repro
+   serve`` — same report bytes, same archived store dump — across the
+   whole scenario zoo x mechanism matrix.  The cluster path must be a
+   strict superset, not a fork.
+2. Cluster output depends only on (scenario, mechanism, policy,
+   balance, workers, seed): re-running produces identical bytes, and
+   stream-assignment is independent of the order streams are handed to
+   the balancer (the seed-stable sampling contract).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.serving import SCENARIOS, assign_streams, build_streams
+from repro.serving.cluster import CLUSTER_POLICIES
+from repro.store.store import RunStore
+
+MECHANISMS = ("snpu", "partition", "flush-tile", "flush-layer",
+              "flush-layer5")
+#: Short window: the matrix below runs 2 serves per cell.
+DURATION = "150"
+
+
+def _store_dump(path) -> str:
+    return json.dumps(RunStore(str(path)).dump(), sort_keys=True)
+
+
+class TestWorkersOneIsSingleNPU:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_byte_identical_report_and_store(
+        self, scenario, mechanism, tmp_path, monkeypatch
+    ):
+        out_single = tmp_path / "single.json"
+        out_cluster = tmp_path / "cluster.json"
+        store_single = tmp_path / "single.sqlite"
+        store_cluster = tmp_path / "cluster.sqlite"
+
+        monkeypatch.setenv("REPRO_STORE", str(store_single))
+        assert main([
+            "serve", scenario, "--mechanism", mechanism,
+            "--duration", DURATION, "--seed", "9",
+            "--format", "json", "-o", str(out_single),
+        ]) == 0
+        monkeypatch.setenv("REPRO_STORE", str(store_cluster))
+        assert main([
+            "serve", scenario, "--mechanism", mechanism,
+            "--duration", DURATION, "--seed", "9", "--workers", "1",
+            "--format", "json", "-o", str(out_cluster),
+        ]) == 0
+
+        assert out_single.read_bytes() == out_cluster.read_bytes()
+        assert _store_dump(store_single) == _store_dump(store_cluster)
+
+
+class TestClusterOrderFreedom:
+    def test_cluster_json_is_bit_identical_across_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "serve", "default", "--mechanism", "snpu",
+                "--workers", "3", "--balance", "least-loaded",
+                "--requests", "30000", "--detail", "150",
+                "--seed", "5", "--format", "json", "-o", str(path),
+            ]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    @pytest.mark.parametrize("balance", CLUSTER_POLICIES)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_assignment_ignores_stream_iteration_order(
+        self, scenario, balance
+    ):
+        streams = build_streams(SCENARIOS[scenario])
+        reference = assign_streams(streams, 3, balance)
+        for shuffle_seed in range(5):
+            shuffled = list(streams)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            assert assign_streams(shuffled, 3, balance) == reference

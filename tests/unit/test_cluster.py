@@ -1,0 +1,263 @@
+"""Unit tests for the sharded cluster layer (:mod:`repro.serving.cluster`)."""
+
+import json
+import random
+
+import pytest
+
+from repro.driver.scheduler import MultiTaskScheduler
+from repro.errors import ConfigError, ReconciliationError
+from repro.npu.config import NPUConfig
+from repro.serving import (
+    CLUSTER_POLICIES,
+    SCENARIOS,
+    ClusterSimulator,
+    assign_streams,
+    autoscale,
+    build_streams,
+    worker_scenario,
+)
+from repro.serving.cluster import allocate_requests
+
+#: Short detailed-sample window: unit-level cluster runs stay fast while
+#: still completing enough requests for the reconciliation checks.
+DETAIL_MS = 150.0
+
+
+@pytest.fixture(scope="module")
+def shared_scheduler():
+    return MultiTaskScheduler(NPUConfig.paper_default())
+
+
+def _rates(assignment):
+    """Per-worker total rate fractions of one assignment."""
+    return [
+        sum(sum(models.values()) for models in worker.values())
+        for worker in assignment
+    ]
+
+
+class TestAssignStreams:
+    @pytest.fixture(scope="class")
+    def streams(self):
+        return build_streams(SCENARIOS["default"])
+
+    @pytest.mark.parametrize("balance", CLUSTER_POLICIES)
+    def test_total_rate_is_conserved(self, streams, balance):
+        assignment = assign_streams(streams, 3, balance)
+        assert sum(_rates(assignment)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("balance", CLUSTER_POLICIES)
+    def test_assignment_is_input_order_independent(self, streams, balance):
+        shuffled = list(streams)
+        random.Random(42).shuffle(shuffled)
+        assert assign_streams(streams, 3, balance) == assign_streams(
+            shuffled, 3, balance
+        )
+
+    def test_rr_splits_every_stream_evenly(self, streams):
+        assignment = assign_streams(streams, 4, "rr")
+        for stream in streams:
+            for worker in assignment:
+                assert worker[stream.tenant][stream.model] == pytest.approx(
+                    stream.rate / 4
+                )
+
+    def test_least_loaded_balances_rates(self, streams):
+        rates = _rates(assign_streams(streams, 4, "least-loaded"))
+        assert max(rates) - min(rates) < 1e-9
+
+    def test_tenant_affinity_never_splits_a_tenant(self, streams):
+        assignment = assign_streams(streams, 3, "tenant-affinity")
+        for tenant in {s.tenant for s in streams}:
+            holders = [w for w in assignment if tenant in w]
+            assert len(holders) == 1
+
+    def test_model_affinity_never_splits_a_model(self, streams):
+        assignment = assign_streams(streams, 3, "model-affinity")
+        for model in {s.model for s in streams}:
+            holders = [
+                w for w in assignment
+                if any(model in models for models in w.values())
+            ]
+            assert len(holders) == 1
+
+    def test_unknown_balance_rejected(self, streams):
+        with pytest.raises(ConfigError, match="unknown balance"):
+            assign_streams(streams, 2, "random")
+
+    def test_zero_workers_rejected(self, streams):
+        with pytest.raises(ConfigError, match="workers"):
+            assign_streams(streams, 0, "rr")
+
+
+class TestWorkerScenario:
+    def test_shares_sum_to_exactly_one(self):
+        scenario = SCENARIOS["default"]
+        assignment = assign_streams(build_streams(scenario), 3, "least-loaded")
+        for idx in range(3):
+            derived = worker_scenario(scenario, idx, assignment[idx])
+            if derived is None:
+                continue
+            assert sum(t.share for t in derived.tenants) == 1.0
+
+    def test_worker_scenario_names_are_distinct(self):
+        scenario = SCENARIOS["default"]
+        assignment = assign_streams(build_streams(scenario), 2, "rr")
+        names = {
+            worker_scenario(scenario, idx, assignment[idx]).name
+            for idx in range(2)
+        }
+        assert names == {"default#w0", "default#w1"}
+
+    def test_empty_assignment_yields_none(self):
+        assert worker_scenario(SCENARIOS["default"], 0, {}) is None
+
+    def test_model_mix_restricted_to_assigned(self):
+        scenario = SCENARIOS["default"]
+        assignment = assign_streams(
+            build_streams(scenario), 4, "model-affinity"
+        )
+        for idx in range(4):
+            derived = worker_scenario(scenario, idx, assignment[idx])
+            if derived is None:
+                continue
+            for spec in derived.tenants:
+                assigned = set(assignment[idx][spec.name])
+                assert {m for m, _ in spec.models} == assigned
+
+
+class TestAllocateRequests:
+    def test_sums_to_total(self):
+        counts = allocate_requests(1_000_000, [0.3, 0.3, 0.25, 0.15])
+        assert sum(counts) == 1_000_000
+
+    def test_proportional_within_one(self):
+        weights = [1.0, 2.0, 3.0]
+        counts = allocate_requests(100, weights)
+        for count, weight in zip(counts, weights):
+            assert abs(count - 100 * weight / 6.0) <= 1.0
+
+    def test_zero_total_or_weights(self):
+        assert allocate_requests(0, [1.0, 1.0]) == [0, 0]
+        assert allocate_requests(10, [0.0, 0.0]) == [0, 0]
+
+
+class TestClusterSimulator:
+    @pytest.fixture(scope="class")
+    def report(self, shared_scheduler):
+        sim = ClusterSimulator(
+            SCENARIOS["default"], mechanism="snpu", workers=2,
+            requests=50_000, seed=0, detail_ms=DETAIL_MS,
+            scheduler=shared_scheduler,
+        )
+        return sim.run()
+
+    def test_fluid_requests_hit_the_target(self, report):
+        assert report.requests_total == 50_000
+        assert sum(f.requests for f in report.fluid) == 50_000
+
+    def test_detailed_sample_is_bounded_by_fluid(self, report):
+        assert 0 < report.requests_detailed < report.requests_total
+
+    def test_every_reconciliation_check_passed(self, report):
+        assert report.reconciliation
+        assert all(c["ok"] for c in report.reconciliation)
+
+    def test_pooled_tenants_cover_the_scenario(self, report):
+        assert [t.tenant for t in report.tenants] == sorted(
+            t.name for t in SCENARIOS["default"].tenants
+        )
+
+    def test_json_render_is_deterministic(self, shared_scheduler):
+        def run_once():
+            sim = ClusterSimulator(
+                SCENARIOS["default"], mechanism="snpu", workers=2,
+                requests=50_000, seed=0, detail_ms=DETAIL_MS,
+                scheduler=shared_scheduler,
+            )
+            return sim.run().render("json")
+
+        assert run_once() == run_once()
+
+    def test_table_render_mentions_workers_and_tenants(self, report):
+        table = report.render("table")
+        assert "w0" in table and "w1" in table
+        for spec in SCENARIOS["default"].tenants:
+            assert spec.name in table
+
+    def test_requests_need_positive_rps(self):
+        with pytest.raises(ConfigError, match="positive rps"):
+            ClusterSimulator(
+                SCENARIOS["default"], workers=2, rps=0.0, requests=100,
+            )
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            ClusterSimulator(SCENARIOS["default"], workers=0)
+
+    def test_bad_balance_rejected(self):
+        with pytest.raises(ConfigError, match="balance"):
+            ClusterSimulator(SCENARIOS["default"], balance="hash")
+
+    def test_default_rps_scales_with_fleet(self):
+        sim = ClusterSimulator(SCENARIOS["default"], workers=4)
+        assert sim.rps == SCENARIOS["default"].rps * 4
+
+    def test_reconciliation_violation_raises(self, shared_scheduler):
+        sim = ClusterSimulator(
+            SCENARIOS["default"], mechanism="snpu", workers=2,
+            requests=50_000, seed=0, detail_ms=DETAIL_MS,
+            scheduler=shared_scheduler,
+        )
+        # Sabotage the fluid model: claim each request costs ~nothing,
+        # so the service-accounting check must trip.
+        original = sim._fluid_worker
+
+        def broken(idx, scenario, rate_rps, requests):
+            fluid = original(idx, scenario, rate_rps, requests)
+            fluid.service_mean_cycles *= 1e-3
+            return fluid
+
+        sim._fluid_worker = broken
+        with pytest.raises(ReconciliationError, match="service_accounting"):
+            sim.run()
+
+
+class TestAutoscale:
+    def test_holds_when_sla_met_at_min_workers(self, shared_scheduler):
+        report = autoscale(
+            SCENARIOS["secure-heavy"], mechanism="snpu", seed=0,
+            detail_ms=DETAIL_MS, min_workers=1, max_workers=4,
+            scheduler=shared_scheduler,
+        )
+        assert report.workers == 1
+        assert report.autoscale_steps[-1].decision == "hold"
+        assert report.autoscale_steps[-1].ok
+
+    def test_scales_out_under_pressure(self, shared_scheduler):
+        # Load the fleet far beyond one worker's capacity: the loop must
+        # grow the fleet (and record its decisions) before holding.
+        report = autoscale(
+            SCENARIOS["secure-heavy"], mechanism="snpu", seed=0,
+            rps=SCENARIOS["secure-heavy"].rps * 6,
+            detail_ms=DETAIL_MS, min_workers=1, max_workers=8,
+            scheduler=shared_scheduler,
+        )
+        assert report.workers > 1
+        assert len(report.autoscale_steps) > 1
+        assert report.autoscale_steps[-1].workers == report.workers
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigError, match="min_workers"):
+            autoscale(SCENARIOS["default"], min_workers=3, max_workers=2)
+
+    def test_autoscale_steps_serialize(self, shared_scheduler):
+        report = autoscale(
+            SCENARIOS["secure-heavy"], mechanism="snpu", seed=0,
+            detail_ms=DETAIL_MS, min_workers=1, max_workers=2,
+            scheduler=shared_scheduler,
+        )
+        payload = json.loads(report.render("json"))
+        assert "autoscale" in payload
+        assert payload["autoscale"][-1]["decision"] == "hold"

@@ -351,3 +351,160 @@ class TestZeroCompletionTenants:
         report = ServeReport.build(sim.run())
         # Only tenants that actually completed appear without a scenario.
         assert all(t.n > 0 for t in report.tenants)
+
+
+class _FakeRunResult:
+    def __init__(self, cycles):
+        self.cycles = cycles
+
+
+class _FakeConfig:
+    """Odd scratchpad: spad // 2 == 50 but spad - spad // 2 == 51."""
+
+    spad_bytes = 101
+
+
+class _FakeScheduler:
+    """Analytic-run stub with a crafted non-monotone cycles table.
+
+    Model "b" is *slower* with 51 bytes than with 50 (a tiling boundary
+    — more budget is not always faster), which is exactly the shape that
+    made the old ``spad - spad // 2`` baseline in ``RateOracle.pair``
+    diverge from the ``spad // 2`` budget the partition actually pays.
+    """
+
+    config = _FakeConfig()
+
+    _TABLE = {
+        ("a", 101): 100.0, ("a", 50): 200.0, ("a", 51): 200.0,
+        ("b", 101): 100.0, ("b", 50): 200.0, ("b", 51): 260.0,
+    }
+
+    def run(self, model, budget=None, share=1.0, flush=None):
+        budget = self.config.spad_bytes if budget is None else budget
+        return _FakeRunResult(self._TABLE.get((model, budget), 1000.0))
+
+
+class TestOddSpadRegression:
+    """`snpu never worse than partition` must hold for odd spad_bytes."""
+
+    @pytest.fixture()
+    def oracles(self):
+        models = {"a": "a", "b": "b"}
+        scheduler = _FakeScheduler()
+        return (
+            RateOracle(scheduler, models, "snpu"),
+            RateOracle(scheduler, models, "partition"),
+        )
+
+    def test_snpu_pair_pointwise_dominates_partition_odd_spad(self, oracles):
+        snpu, partition = oracles
+        sa, sb = snpu.pair("a", "b")
+        pa, pb = partition.pair("a", "b")
+        assert sa <= pa
+        assert sb <= pb
+
+    def test_snpu_pair_norm_bounded_by_partition_odd_spad(self, oracles):
+        snpu, partition = oracles
+        assert (
+            snpu.pair_norm("a", "b") <= partition.pair_norm("a", "b") + 1e-12
+        )
+
+
+class TestWaitResidualAccounting:
+    """Negative wait residuals are counted (noise) or raised (bugs)."""
+
+    @pytest.fixture()
+    def sim(self, shared_scheduler):
+        return ServeSimulator(
+            SCENARIOS["default"], mechanism="snpu", seed=0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+
+    def test_float_noise_clamp_is_counted(self, sim):
+        from repro.serving.queueing import ServeOutcome
+
+        outcome = ServeOutcome(
+            scenario="default", mechanism="snpu", policy="rr",
+            rps=300.0, duration_ms=SHORT_MS, seed=0, freq_ghz=1.0,
+        )
+        req = _req(0, tenant="cam", arrival=0.0)
+        # latency = 100.0, owned = 100.0 + 1e-8: residual is -1e-8,
+        # within float noise -> clamped and counted, never raised.
+        sim._record_completion(
+            req, None, 100.0, 100.0 + 1e-8, 0.0, 0.0, outcome,
+        )
+        assert outcome.wait_clamps == 1
+        assert outcome.clamped_cycles == pytest.approx(1e-8)
+        assert outcome.completed[0].wait == 0.0
+        assert outcome.completed[0].residual == pytest.approx(-1e-8)
+
+    def test_over_accounted_completion_raises(self, sim):
+        from repro.errors import ReconciliationError
+        from repro.serving.queueing import ServeOutcome
+
+        outcome = ServeOutcome(
+            scenario="default", mechanism="snpu", policy="rr",
+            rps=300.0, duration_ms=SHORT_MS, seed=0, freq_ghz=1.0,
+        )
+        req = _req(1, tenant="cam", arrival=0.0)
+        # service exceeds latency by a full cycle: a real accounting
+        # violation, far beyond reassociation noise.
+        with pytest.raises(ReconciliationError, match="over-accounted"):
+            sim._record_completion(
+                req, None, 100.0, 101.0, 0.0, 0.0, outcome,
+            )
+        assert outcome.wait_clamps == 0
+        assert not outcome.completed
+
+    def test_clean_run_reports_clamps_in_json(self, sim):
+        report = ServeReport.build(sim.run(), scenario=SCENARIOS["default"])
+        payload = json.loads(report.render("json"))
+        acct = payload["accounting"]
+        assert acct["wait_clamps"] >= 0
+        assert acct["clamped_cycles"] >= 0.0
+        # Whatever was clamped is float noise, not real cycles.
+        assert acct["clamped_cycles"] < 1e-3
+
+
+class TestRpsSemantics:
+    """rps=None means the scenario default; rps=0 means an empty stream."""
+
+    def test_generate_zero_rps_is_empty(self):
+        assert generate(SCENARIOS["default"], rps=0.0) == []
+
+    def test_generate_none_uses_scenario_default(self):
+        assert generate(SCENARIOS["default"], rps=None, seed=2) == generate(
+            SCENARIOS["default"], seed=2
+        )
+
+    def test_generate_negative_rps_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            generate(SCENARIOS["default"], rps=-1.0)
+
+    def test_generate_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            generate(SCENARIOS["default"], duration_ms=0.0)
+
+    def test_simulator_zero_rps_serves_nothing(self, shared_scheduler):
+        sim = ServeSimulator(
+            SCENARIOS["default"], mechanism="snpu", rps=0.0,
+            duration_ms=SHORT_MS, scheduler=shared_scheduler,
+        )
+        assert sim.rps == 0.0  # not silently the scenario's 300
+        out = sim.run()
+        assert out.completed == []
+        assert out.makespan == 0.0
+
+    def test_simulator_negative_rps_rejected(self, shared_scheduler):
+        with pytest.raises(ConfigError, match="non-negative"):
+            ServeSimulator(
+                SCENARIOS["default"], rps=-5.0, scheduler=shared_scheduler,
+            )
+
+    def test_simulator_nonpositive_duration_rejected(self, shared_scheduler):
+        with pytest.raises(ConfigError, match="positive"):
+            ServeSimulator(
+                SCENARIOS["default"], duration_ms=0.0,
+                scheduler=shared_scheduler,
+            )
